@@ -1,0 +1,41 @@
+"""E1 — treating each object as a single data item curtails parallelism.
+
+Paper claim (Section 1): requiring one active method execution per object
+"has the virtue of simplicity" but sacrifices the concurrency the
+object-base model permits.  We sweep the number of concurrent transactions
+on the B-tree index workload and compare the coarse baseline against
+fine-grained N2PL and NTO.
+"""
+
+from __future__ import annotations
+
+from repro.simulation import BTreeWorkload
+
+from .harness import print_experiment, run_configuration
+
+SCHEDULERS = ["single-active", "n2pl", "nto", "certifier"]
+TRANSACTION_COUNTS = [8, 16, 32]
+COLUMNS = ["transactions", "scheduler", "makespan", "blocked_ticks", "aborts", "throughput", "serialisable"]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for transactions in TRANSACTION_COUNTS:
+        for scheduler_name in SCHEDULERS:
+            workload = BTreeWorkload(
+                transactions=transactions, operations_per_transaction=4, seed=101
+            )
+            row = run_configuration(workload, scheduler_name, seed=101)
+            row["transactions"] = transactions
+            rows.append(row)
+    return rows
+
+
+def test_e1_single_active_vs_fine_grained(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E1: coarse object-level locking vs fine-grained schedulers", rows, COLUMNS)
+    for transactions in TRANSACTION_COUNTS:
+        coarse = next(r for r in rows if r["transactions"] == transactions and r["scheduler"] == "single-active")
+        fine = next(r for r in rows if r["transactions"] == transactions and r["scheduler"] == "n2pl")
+        assert coarse["makespan"] > fine["makespan"]
+    assert all(row["serialisable"] for row in rows)

@@ -1,0 +1,43 @@
+"""E3 — blocking (N2PL) vs restarting (NTO) across a contention sweep.
+
+Paper context (Section 5): both algorithms are correct; they differ in how
+they resolve conflicts — N2PL delays and may deadlock, NTO aborts and
+restarts.  We sweep the hot-spot probability and report makespan, blocking
+and abort behaviour for both.
+"""
+
+from __future__ import annotations
+
+from repro.simulation import HotspotWorkload
+
+from .harness import print_experiment, run_configuration
+
+HOT_PROBABILITIES = [0.1, 0.5, 0.9]
+SCHEDULERS = ["n2pl", "nto", "n2pl-step", "nto-step"]
+COLUMNS = ["hot_probability", "scheduler", "makespan", "blocked_ticks", "aborts", "deadlocks", "ts_aborts", "serialisable"]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for hot_probability in HOT_PROBABILITIES:
+        for scheduler_name in SCHEDULERS:
+            workload = HotspotWorkload(
+                transactions=16, hot_objects=2, cold_objects=24,
+                operations_per_transaction=3, hot_probability=hot_probability, seed=303,
+            )
+            row = run_configuration(workload, scheduler_name, seed=303)
+            row["hot_probability"] = hot_probability
+            rows.append(row)
+    return rows
+
+
+def test_e3_n2pl_vs_nto_contention(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E3: N2PL (blocking) vs NTO (restarting) under contention", rows, COLUMNS)
+    for row in rows:
+        if row["scheduler"].startswith("nto"):
+            assert row["blocked_ticks"] == 0
+            assert row["deadlocks"] == 0
+        else:
+            assert row["ts_aborts"] == 0
+    assert all(row["serialisable"] for row in rows)

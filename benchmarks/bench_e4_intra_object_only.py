@@ -1,0 +1,66 @@
+"""E4 — intra-object serialisability alone does not imply global correctness.
+
+Paper claim (Section 2): each object may serialise its own method
+executions correctly and the overall computation may still not be
+serialisable; inter-object synchronisation is required, unless every
+object implements one common *local atomicity* property.  We count
+non-serialisable runs over several seeds for three regimes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import certify_run
+from repro.scheduler import make_scheduler
+from repro.simulation import HotspotWorkload, SimulationEngine
+
+from .harness import print_experiment
+
+SEEDS = range(6)
+REGIMES = [
+    ("per-object timestamp, no coordination", "modular-intra-only", "timestamp"),
+    ("per-object timestamp + coordinator", "modular", "timestamp"),
+    ("per-object strict 2PL, no coordination", "modular-intra-only", "locking"),
+]
+COLUMNS = ["regime", "non_serialisable_runs", "runs", "aborts"]
+
+
+def _workload(seed: int) -> HotspotWorkload:
+    return HotspotWorkload(
+        transactions=10, hot_objects=3, cold_objects=4, hot_probability=0.9,
+        operations_per_transaction=3, use_service_layer=False, seed=seed,
+    )
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for label, scheduler_name, strategy in REGIMES:
+        violations = 0
+        aborts = 0
+        for seed in SEEDS:
+            base, specs = _workload(seed).build()
+            engine = SimulationEngine(
+                base, make_scheduler(scheduler_name, default_strategy=strategy), seed=seed
+            )
+            engine.submit_all(specs)
+            result = engine.run()
+            aborts += result.metrics.aborted_attempts
+            if not certify_run(result, check_legality=False).serialisable:
+                violations += 1
+        rows.append(
+            {
+                "regime": label,
+                "non_serialisable_runs": violations,
+                "runs": len(list(SEEDS)),
+                "aborts": aborts,
+            }
+        )
+    return rows
+
+
+def test_e4_intra_object_only(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E4: why inter-object synchronisation is necessary", rows, COLUMNS)
+    uncoordinated, coordinated, locking = rows
+    assert uncoordinated["non_serialisable_runs"] > 0
+    assert coordinated["non_serialisable_runs"] == 0
+    assert locking["non_serialisable_runs"] == 0

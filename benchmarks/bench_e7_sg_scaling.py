@@ -1,0 +1,63 @@
+"""E7 — cost of building and checking serialisation graphs (Theorem 2).
+
+The serialisability theorem turns correctness into an acyclicity check of
+``SG(h)``.  This benchmark measures how the cost of constructing the graph
+and extracting the serial order scales with history size, which is what a
+certification-based inter-object mechanism (Section 6) would pay online.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import execution_serial_order, is_serialisable, serialisation_graph
+from repro.scheduler import make_scheduler
+from repro.simulation import RandomOperationsWorkload, SimulationEngine
+
+from .harness import print_experiment
+
+TRANSACTION_COUNTS = [5, 10, 20]
+COLUMNS = ["transactions", "executions", "local_steps", "sg_nodes", "sg_edges", "build_seconds", "serialisable"]
+
+
+def _history_of_size(transactions: int):
+    workload = RandomOperationsWorkload(
+        registers=10, transactions=transactions, operations_per_transaction=4,
+        nesting_depth=2, seed=606,
+    )
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler("n2pl"), seed=606)
+    engine.submit_all(specs)
+    return engine.run().committed_history()
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for transactions in TRANSACTION_COUNTS:
+        history = _history_of_size(transactions)
+        started = time.perf_counter()
+        graph = serialisation_graph(history)
+        serialisable = is_serialisable(history)
+        if serialisable:
+            execution_serial_order(history)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "transactions": transactions,
+                "executions": len(history.execution_ids()),
+                "local_steps": len(history.local_steps()),
+                "sg_nodes": graph.number_of_nodes(),
+                "sg_edges": graph.number_of_edges(),
+                "build_seconds": elapsed,
+                "serialisable": serialisable,
+            }
+        )
+    return rows
+
+
+def test_e7_sg_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E7: serialisation-graph construction cost vs history size", rows, COLUMNS)
+    assert all(row["serialisable"] for row in rows)
+    sizes = [row["sg_edges"] for row in rows]
+    assert sizes == sorted(sizes)

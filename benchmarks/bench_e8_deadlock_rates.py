@@ -1,0 +1,41 @@
+"""E8 — deadlock behaviour of blocking protocols vs deadlock-free NTO.
+
+Paper context (Section 5): N2PL blocks and therefore may deadlock; NTO
+resolves conflicts by aborting, so it never deadlocks.  We sweep contention
+and report the deadlock counts of the blocking schedulers next to the
+timestamp-abort counts of NTO.
+"""
+
+from __future__ import annotations
+
+from repro.simulation import HotspotWorkload
+
+from .harness import print_experiment, run_configuration
+
+HOT_PROBABILITIES = [0.2, 0.6, 0.9]
+SCHEDULERS = ["n2pl", "single-active", "nto"]
+COLUMNS = ["hot_probability", "scheduler", "deadlocks", "ts_aborts", "aborts", "makespan", "serialisable"]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for hot_probability in HOT_PROBABILITIES:
+        for scheduler_name in SCHEDULERS:
+            workload = HotspotWorkload(
+                transactions=14, hot_objects=2, cold_objects=20,
+                operations_per_transaction=4, hot_probability=hot_probability, seed=707,
+            )
+            row = run_configuration(workload, scheduler_name, seed=707)
+            row["hot_probability"] = hot_probability
+            rows.append(row)
+    return rows
+
+
+def test_e8_deadlock_rates(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E8: deadlocks under contention (blocking vs restarting)", rows, COLUMNS)
+    nto_rows = [row for row in rows if row["scheduler"] == "nto"]
+    assert all(row["deadlocks"] == 0 for row in nto_rows)
+    n2pl_rows = [row for row in rows if row["scheduler"] == "n2pl"]
+    assert n2pl_rows[-1]["deadlocks"] >= n2pl_rows[0]["deadlocks"]
+    assert all(row["serialisable"] for row in rows)

@@ -1,0 +1,44 @@
+"""E9 — the optimistic (certifier) trade-off.
+
+Paper claim (Section 6): certifier-like mechanisms favour unconstrained
+intra-object execution at the price of "scheduling errors requiring
+abortions", whereas N2PL/NTO restrict execution up front.  We compare the
+optimistic certifier with N2PL across a contention sweep: the certifier
+never blocks but wastes work on validation aborts as contention grows.
+"""
+
+from __future__ import annotations
+
+from repro.simulation import HotspotWorkload
+
+from .harness import print_experiment, run_configuration
+
+HOT_PROBABILITIES = [0.2, 0.6, 0.9]
+SCHEDULERS = ["certifier", "n2pl"]
+COLUMNS = [
+    "hot_probability", "scheduler", "makespan", "blocked_ticks",
+    "validation_aborts", "deadlocks", "wasted_fraction", "serialisable",
+]
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for hot_probability in HOT_PROBABILITIES:
+        for scheduler_name in SCHEDULERS:
+            workload = HotspotWorkload(
+                transactions=14, hot_objects=2, cold_objects=20,
+                operations_per_transaction=3, hot_probability=hot_probability, seed=808,
+            )
+            row = run_configuration(workload, scheduler_name, seed=808)
+            row["hot_probability"] = hot_probability
+            rows.append(row)
+    return rows
+
+
+def test_e9_optimistic_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E9: optimistic certification vs pessimistic locking", rows, COLUMNS)
+    certifier_rows = [row for row in rows if row["scheduler"] == "certifier"]
+    assert all(row["blocked_ticks"] == 0 for row in certifier_rows)
+    assert certifier_rows[-1]["validation_aborts"] >= certifier_rows[0]["validation_aborts"]
+    assert all(row["serialisable"] for row in rows)

@@ -1,0 +1,60 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+The paper has no numeric tables or figures, so every benchmark regenerates
+one of its comparative claims (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcomes).  Each ``bench_eN_*`` module
+defines a ``run_experiment()`` function that returns the experiment's rows
+and a pytest-benchmark test that times one full sweep and prints the table
+(visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis import certify_run, format_table
+from repro.scheduler import make_scheduler
+from repro.simulation import SimulationEngine
+
+__all__ = ["run_configuration", "print_experiment", "format_table"]
+
+
+def run_configuration(
+    workload,
+    scheduler_name: str,
+    *,
+    seed: int = 0,
+    certify: bool = True,
+    scheduler_kwargs: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Run one workload under one scheduler and summarise the outcome."""
+    base, specs = workload.build()
+    scheduler = make_scheduler(scheduler_name, **(scheduler_kwargs or {}))
+    engine = SimulationEngine(base, scheduler, seed=seed)
+    engine.submit_all(specs)
+    result = engine.run()
+    metrics = result.metrics
+    row: dict[str, Any] = {
+        "scheduler": scheduler_name,
+        "committed": metrics.committed,
+        "aborts": metrics.aborted_attempts,
+        "deadlocks": metrics.aborts_by_reason.get("deadlock", 0),
+        "ts_aborts": metrics.aborts_by_reason.get("timestamp", 0),
+        "validation_aborts": metrics.aborts_by_reason.get("validation", 0),
+        "inter_object_aborts": metrics.aborts_by_reason.get("inter-object", 0),
+        "makespan": metrics.total_ticks,
+        "blocked_ticks": metrics.blocked_ticks,
+        "blocked_fraction": metrics.blocked_fraction,
+        "wasted_fraction": metrics.wasted_fraction,
+        "throughput": metrics.throughput,
+    }
+    if certify:
+        report = certify_run(result, check_legality=False)
+        row["serialisable"] = report.serialisable
+    return row
+
+
+def print_experiment(title: str, rows: list[dict[str, Any]], columns: list[str]) -> None:
+    """Print one experiment's table (shown under ``pytest -s``)."""
+    print()
+    print(format_table(rows, columns, title=title))

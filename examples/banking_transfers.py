@@ -1,0 +1,87 @@
+"""Banking example: compare schedulers on a nested-transfer workload.
+
+The workload is the one the paper's model is built for: user transactions
+(transfers, payrolls, audits) that run as nested method executions across
+teller, account and branch-counter objects.  The script runs the same
+transaction mix under several concurrency-control algorithms — the coarse
+single-active-object baseline, Moss' nested two-phase locking at both
+conflict granularities, Reed's nested timestamp ordering and the optimistic
+certifier — and prints a comparison table plus the safety invariant
+(total money is conserved by transfers).
+
+Run it with ``python examples/banking_transfers.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import certify_run, format_table
+from repro.scheduler import make_scheduler
+from repro.simulation import BankingWorkload, SimulationEngine
+
+SCHEDULERS = ["single-active", "n2pl", "n2pl-step", "nto", "nto-step", "certifier"]
+
+
+def run_one(scheduler_name: str, seed: int = 11) -> dict:
+    workload = BankingWorkload(
+        accounts=12,
+        branches=2,
+        transactions=40,
+        transfer_fraction=0.7,
+        payroll_fraction=0.0,  # keep the conservation invariant exact
+        hot_fraction=0.25,
+        seed=seed,
+    )
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name), seed=seed)
+    engine.submit_all(specs)
+    result = engine.run()
+
+    finals = result.final_states()
+    total_balance = sum(
+        finals[name]["balance"] for name in finals if name.startswith("account-")
+    )
+    report = certify_run(result, check_legality=False)
+    metrics = result.metrics
+    return {
+        "scheduler": scheduler_name,
+        "committed": metrics.committed,
+        "aborts": metrics.aborted_attempts,
+        "deadlocks": metrics.aborts_by_reason.get("deadlock", 0),
+        "ts_aborts": metrics.aborts_by_reason.get("timestamp", 0),
+        "makespan": metrics.total_ticks,
+        "blocked%": 100 * metrics.blocked_fraction,
+        "serialisable": report.serialisable,
+        "money_conserved": abs(total_balance - workload.expected_total_balance()) < 1e-9,
+    }
+
+
+def main() -> None:
+    rows = [run_one(name) for name in SCHEDULERS]
+    print(
+        format_table(
+            rows,
+            [
+                "scheduler",
+                "committed",
+                "aborts",
+                "deadlocks",
+                "ts_aborts",
+                "makespan",
+                "blocked%",
+                "serialisable",
+                "money_conserved",
+            ],
+            precision=1,
+            title="Banking workload: 40 nested transactions over 12 accounts",
+        )
+    )
+    print(
+        "\nReading the table: every scheduler keeps the run serialisable and the\n"
+        "money conserved; they differ in *how* they pay for it — blocking (N2PL,\n"
+        "single-active), restarts (NTO), or validation aborts (certifier) — and in\n"
+        "the resulting makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""B-tree index example: object-specific conflict knowledge in action.
+
+The paper motivates per-object synchronisation with a dictionary object
+implemented as a B-tree (Section 2).  This script runs an index-maintenance
+workload over a real B-tree object and contrasts three views of it:
+
+* the coarse baseline that serialises every method execution on the index;
+* fine-grained locking driven by the B-tree's own conflict specification
+  (readers of other keys / ranges proceed concurrently with mutators);
+* nested timestamp ordering over the same specification.
+
+It also prints the index's structural invariants after the run, checked by
+the B-tree validator.
+
+Run it with ``python examples/btree_index_concurrency.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import certify_run, format_table
+from repro.objectbase.adts.btree import tree_height, tree_size, validate_tree
+from repro.scheduler import make_scheduler
+from repro.simulation import BTreeWorkload, SimulationEngine
+
+SCHEDULERS = ["single-active", "n2pl", "nto", "certifier"]
+
+
+def run_one(scheduler_name: str, seed: int = 23) -> tuple[dict, dict]:
+    workload = BTreeWorkload(
+        indexes=1,
+        transactions=30,
+        operations_per_transaction=4,
+        key_space=150,
+        initial_keys=80,
+        degree=3,
+        read_fraction=0.55,
+        scan_fraction=0.15,
+        seed=seed,
+    )
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name), seed=seed)
+    engine.submit_all(specs)
+    result = engine.run()
+    metrics = result.metrics
+    row = {
+        "scheduler": scheduler_name,
+        "committed": metrics.committed,
+        "aborts": metrics.aborted_attempts,
+        "makespan": metrics.total_ticks,
+        "blocked%": 100 * metrics.blocked_fraction,
+        "serialisable": certify_run(result, check_legality=False).serialisable,
+    }
+    final_index_state = result.final_states()["index-0"]
+    return row, dict(final_index_state)
+
+
+def main() -> None:
+    rows = []
+    final_state = {}
+    for scheduler_name in SCHEDULERS:
+        row, final_state = run_one(scheduler_name)
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            ["scheduler", "committed", "aborts", "makespan", "blocked%", "serialisable"],
+            precision=1,
+            title="B-tree index maintenance: 30 transactions, key space 150",
+        )
+    )
+
+    root = final_state["root"]
+    degree = final_state["degree"]
+    validate_tree(root, degree)
+    print(
+        f"\nFinal index (last run): {tree_size(root)} keys, height {tree_height(root)}, "
+        f"minimum degree {degree} — structural invariants verified."
+    )
+    print(
+        "\nThe coarse baseline pays for ignoring object semantics: every search,\n"
+        "scan and update on the index excludes every other, whereas the fine-grained\n"
+        "schedulers only serialise operations the B-tree's conflict specification\n"
+        "actually declares conflicting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Modular synchronisation example: per-object algorithms plus Theorem 5.
+
+The paper's conceptual contribution (Sections 2 and 5.3) is the split into
+*intra-object* and *inter-object* synchronisation: each object may use the
+algorithm best suited to its semantics provided the per-object serial
+orders are kept compatible.  This script demonstrates all three regimes on
+an order-processing object base (B-tree catalogue, accounts, shipping
+queue, counters, audit log):
+
+* every object uses its own intra-object algorithm and the inter-object
+  coordinator enforces Theorem 5's conditions  -> serialisable;
+* the same per-object algorithms *without* inter-object coordination,
+  using per-object timestamp orders                 -> violations appear;
+* per-object strict two-phase locking without coordination (a *local
+  atomicity* property in Weihl's sense)             -> serialisable again.
+
+Run it with ``python examples/modular_synchronisation.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import certify_run, format_table
+from repro.scheduler import make_scheduler
+from repro.simulation import HotspotWorkload, MixedWorkload, SimulationEngine
+
+
+def run_mixed(configuration: str, seed: int = 29) -> dict:
+    workload = MixedWorkload(customers=8, transactions=30, seed=seed)
+    strategies = workload.modular_strategy_map()
+    if configuration == "modular (per-object algorithms + coordinator)":
+        scheduler = make_scheduler("modular", per_object_strategy=strategies)
+    elif configuration == "uniform n2pl":
+        scheduler = make_scheduler("n2pl")
+    else:
+        scheduler = make_scheduler("single-active")
+    base, specs = workload.build()
+    engine = SimulationEngine(base, scheduler, seed=seed)
+    engine.submit_all(specs)
+    result = engine.run()
+    report = certify_run(result, check_legality=False)
+    return {
+        "configuration": configuration,
+        "makespan": result.metrics.total_ticks,
+        "blocked%": 100 * result.metrics.blocked_fraction,
+        "aborts": result.metrics.aborted_attempts,
+        "serialisable": report.serialisable,
+    }
+
+
+def run_intra_only(strategy: str, with_coordinator: bool, seeds=range(8)) -> dict:
+    """Count serialisability violations over several seeds (experiment E4)."""
+    violations = 0
+    for seed in seeds:
+        workload = HotspotWorkload(
+            transactions=12,
+            hot_objects=3,
+            cold_objects=4,
+            hot_probability=0.9,
+            operations_per_transaction=3,
+            use_service_layer=False,
+            seed=seed,
+        )
+        name = "modular" if with_coordinator else "modular-intra-only"
+        scheduler = make_scheduler(name, default_strategy=strategy)
+        base, specs = workload.build()
+        engine = SimulationEngine(base, scheduler, seed=seed)
+        engine.submit_all(specs)
+        result = engine.run()
+        if not certify_run(result, check_legality=False).serialisable:
+            violations += 1
+    return {
+        "intra-object algorithm": strategy,
+        "inter-object coordinator": "on" if with_coordinator else "off",
+        "non-serialisable runs": f"{violations}/{len(list(seeds))}",
+    }
+
+
+def main() -> None:
+    print(
+        format_table(
+            [
+                run_mixed("single-active baseline"),
+                run_mixed("uniform n2pl"),
+                run_mixed("modular (per-object algorithms + coordinator)"),
+            ],
+            ["configuration", "makespan", "blocked%", "aborts", "serialisable"],
+            precision=1,
+            title="Order-processing object base: heterogeneous objects, one scheduler each",
+        )
+    )
+
+    print()
+    print(
+        format_table(
+            [
+                run_intra_only("timestamp", with_coordinator=False),
+                run_intra_only("timestamp", with_coordinator=True),
+                run_intra_only("locking", with_coordinator=False),
+            ],
+            ["intra-object algorithm", "inter-object coordinator", "non-serialisable runs"],
+            title="Why inter-object synchronisation is needed (the paper's Section 2 example)",
+        )
+    )
+    print(
+        "\nPer-object timestamp orders are each serialisable locally, yet without the\n"
+        "coordinator the objects pick incompatible orders and the global execution is\n"
+        "not serialisable.  Per-object strict 2PL is a local atomicity property\n"
+        "(Weihl), so it composes even without coordination — exactly the relationship\n"
+        "between the paper's scheme and local atomicity discussed in Section 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Queue example: operation-level vs step-level (return-value aware) conflicts.
+
+Section 5.1 of the paper observes that "in many reasonable representations
+of queues, an Enqueue conflicts with a Dequeue only if the latter returns
+the item placed into the queue by the former", so locking *steps* instead
+of *operations* buys concurrency.  This script measures exactly that on a
+producer/consumer workload over pre-populated FIFO queues, for both the
+locking (N2PL) and the timestamp-ordering (NTO) family.
+
+Run it with ``python examples/queue_step_locking.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import certify_run, format_table
+from repro.scheduler import make_scheduler
+from repro.simulation import QueueWorkload, SimulationEngine
+
+CONFIGURATIONS = [
+    ("n2pl (operation locks)", "n2pl", {}),
+    ("n2pl (step locks)", "n2pl-step", {}),
+    ("nto (operation checks)", "nto", {}),
+    ("nto (step checks)", "nto-step", {}),
+]
+
+
+def run_one(label: str, scheduler_name: str, kwargs: dict, seed: int = 17) -> dict:
+    workload = QueueWorkload(
+        queues=2,
+        producers=12,
+        consumers=12,
+        items_per_transaction=3,
+        initial_depth=15,
+        seed=seed,
+    )
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name, **kwargs), seed=seed)
+    engine.submit_all(specs)
+    result = engine.run()
+    metrics = result.metrics
+    return {
+        "configuration": label,
+        "makespan": metrics.total_ticks,
+        "blocked_ticks": metrics.blocked_ticks,
+        "aborts": metrics.aborted_attempts,
+        "throughput": metrics.throughput,
+        "serialisable": certify_run(result, check_legality=False).serialisable,
+    }
+
+
+def main() -> None:
+    rows = [run_one(label, name, kwargs) for label, name, kwargs in CONFIGURATIONS]
+    print(
+        format_table(
+            rows,
+            ["configuration", "makespan", "blocked_ticks", "aborts", "throughput", "serialisable"],
+            title="Producer/consumer queues: conflict granularity comparison",
+        )
+    )
+    operation_row = rows[0]
+    step_row = rows[1]
+    speedup = operation_row["makespan"] / step_row["makespan"] if step_row["makespan"] else 1.0
+    print(
+        f"\nStep-level locking finishes the same work {speedup:.2f}x faster than\n"
+        "operation-level locking because enqueues and dequeues of different items\n"
+        "no longer exclude one another (the paper's Section 5.1 claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

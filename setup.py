@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 build isolation (offline).
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` works on machines that lack the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

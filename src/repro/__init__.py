@@ -1,0 +1,60 @@
+"""repro — reproduction of "Transaction Synchronisation in Object Bases".
+
+The package implements the paper's formal model of object-base histories,
+its serialisability theory, the nested two-phase locking and nested
+timestamp ordering algorithms whose correctness the paper proves, the
+intra-/inter-object decomposition of Theorem 5, and a simulation substrate
+(object base, abstract data types, workload generators, metrics) on which
+the paper's comparative claims can be measured.
+
+The most commonly used names are re-exported here; the sub-packages
+(:mod:`repro.core`, :mod:`repro.objectbase`, :mod:`repro.scheduler`,
+:mod:`repro.simulation`, :mod:`repro.analysis`) expose the full API.
+"""
+
+from .core import (
+    AUTO,
+    ConflictSpec,
+    ConflictTable,
+    ConservativeConflictSpec,
+    ENVIRONMENT_OBJECT,
+    History,
+    HistoryBuilder,
+    IllegalHistoryError,
+    MethodExecution,
+    ObjectState,
+    PerObjectConflicts,
+    ReadWriteConflictSpec,
+    ReproError,
+    brute_force_serialisable,
+    check_determinacy,
+    is_serialisable,
+    serialisation_graph,
+    serialise,
+    theorem_5_conditions,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AUTO",
+    "ConflictSpec",
+    "ConflictTable",
+    "ConservativeConflictSpec",
+    "ENVIRONMENT_OBJECT",
+    "History",
+    "HistoryBuilder",
+    "IllegalHistoryError",
+    "MethodExecution",
+    "ObjectState",
+    "PerObjectConflicts",
+    "ReadWriteConflictSpec",
+    "ReproError",
+    "__version__",
+    "brute_force_serialisable",
+    "check_determinacy",
+    "is_serialisable",
+    "serialisation_graph",
+    "serialise",
+    "theorem_5_conditions",
+]

@@ -1,0 +1,17 @@
+"""Analysis layer: run certification, history statistics and text reports."""
+
+from .certify import CertificationReport, certify_history, certify_run
+from .report import format_comparison, format_table, relative_change, summarise_sweep
+from .stats import HistoryStatistics, history_statistics
+
+__all__ = [
+    "CertificationReport",
+    "HistoryStatistics",
+    "certify_history",
+    "certify_run",
+    "format_comparison",
+    "format_table",
+    "history_statistics",
+    "relative_change",
+    "summarise_sweep",
+]

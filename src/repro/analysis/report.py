@@ -1,0 +1,84 @@
+"""Plain-text tables for experiment output.
+
+The benchmark harness and the examples print their results as aligned text
+tables (the paper has no tables of its own, so these are the artefacts
+EXPERIMENTS.md records).  Keeping the formatting here keeps every
+experiment's output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_value(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (dictionaries) as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_value(row.get(column, ""), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[index]) for rendered in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = [
+        "  ".join(rendered[index].ljust(widths[index]) for index in range(len(columns)))
+        for rendered in rendered_rows
+    ]
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Sequence[Mapping[str, Any]],
+    group_column: str,
+    metric_columns: Sequence[str],
+    *,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render a comparison keyed by ``group_column`` over chosen metrics."""
+    columns = [group_column, *metric_columns]
+    return format_table(rows, columns, precision=precision, title=title)
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Relative improvement of ``value`` over ``baseline`` (positive = better)."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline
+
+
+def summarise_sweep(rows: Iterable[Mapping[str, Any]], key: str, metric: str) -> dict[str, Any]:
+    """Minimum, maximum and argmax of ``metric`` across a parameter sweep."""
+    materialised = list(rows)
+    if not materialised:
+        return {"min": None, "max": None, "best": None}
+    best = max(materialised, key=lambda row: row.get(metric, float("-inf")))
+    return {
+        "min": min(row.get(metric, float("inf")) for row in materialised),
+        "max": max(row.get(metric, float("-inf")) for row in materialised),
+        "best": best.get(key),
+    }

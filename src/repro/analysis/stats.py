@@ -1,0 +1,60 @@
+"""Descriptive statistics of histories.
+
+These are the numbers the experiment harness prints next to its headline
+metrics: how many executions and steps a history contains, how deeply the
+transactions nest, and how the local steps distribute over objects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.history import History
+
+
+@dataclass
+class HistoryStatistics:
+    """Structural summary of one history."""
+
+    executions: int = 0
+    top_level_executions: int = 0
+    local_steps: int = 0
+    message_steps: int = 0
+    objects_touched: int = 0
+    max_nesting_depth: int = 0
+    mean_nesting_depth: float = 0.0
+    steps_per_object: dict[str, int] = field(default_factory=dict)
+    executions_per_object: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "executions": self.executions,
+            "top_level_executions": self.top_level_executions,
+            "local_steps": self.local_steps,
+            "message_steps": self.message_steps,
+            "objects_touched": self.objects_touched,
+            "max_nesting_depth": self.max_nesting_depth,
+            "mean_nesting_depth": self.mean_nesting_depth,
+        }
+
+
+def history_statistics(history: History) -> HistoryStatistics:
+    """Compute :class:`HistoryStatistics` for the given history."""
+    executions = list(history.executions.values())
+    depths = [history.level(execution.execution_id) for execution in executions]
+    steps_per_object = Counter(step.object_name for step in history.local_steps())
+    executions_per_object = Counter(execution.object_name for execution in executions)
+    local_steps = history.local_steps()
+    return HistoryStatistics(
+        executions=len(executions),
+        top_level_executions=len(history.top_level_executions()),
+        local_steps=len(local_steps),
+        message_steps=len(history.message_steps()),
+        objects_touched=len({step.object_name for step in local_steps}),
+        max_nesting_depth=max(depths, default=0),
+        mean_nesting_depth=(sum(depths) / len(depths)) if depths else 0.0,
+        steps_per_object=dict(steps_per_object),
+        executions_per_object=dict(executions_per_object),
+    )

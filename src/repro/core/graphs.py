@@ -1,0 +1,238 @@
+"""Serialisation graphs (Definitions 9 and 10).
+
+The *serialisation graph* ``SG(h)`` of a history has one node per method
+execution and an edge ``e -> e'`` between incomparable executions whenever
+an equivalent serial history would have to run ``e`` before ``e'``:
+
+* **type (a)** edges record conflicts: some descendant of ``e`` issued a
+  step that precedes and conflicts with a step issued by a descendant of
+  ``e'``;
+* **type (b)** edges record programme structure: the least common ancestor
+  of ``e`` and ``e'`` ordered the messages that created them.
+
+Theorem 2 states that acyclicity of ``SG(h)`` implies serialisability of
+``h``; Section 5.3 refines the graph into per-object graphs ``SG_local`` and
+``SG_mesg`` plus a per-execution message relation, which Theorem 5 uses to
+separate intra-object from inter-object synchronisation.
+
+All graphs are returned as :class:`networkx.DiGraph` instances whose edges
+carry a ``reasons`` attribute listing the step pairs that induced them, so
+failures can be explained to the user.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+import networkx as nx
+
+from .history import History
+from .operations import LocalStep, MessageStep
+
+
+def _add_edge(graph: nx.DiGraph, source: str, target: str, reason: tuple) -> None:
+    if graph.has_edge(source, target):
+        graph[source][target]["reasons"].append(reason)
+    else:
+        graph.add_edge(source, target, reasons=[reason])
+
+
+def _conflicting_ordered_pairs(history: History) -> Iterable[tuple[LocalStep, LocalStep]]:
+    """Yield ordered pairs ``(t, t')`` with ``t < t'`` and ``t`` conflicting with ``t'``."""
+    for object_name in history.object_names():
+        steps = history.local_steps(object_name)
+        for first, second in itertools.permutations(steps, 2):
+            if not history.precedes(first, second):
+                continue
+            if history.conflicts.steps_conflict(first, second):
+                yield first, second
+
+
+def serialisation_graph(history: History) -> nx.DiGraph:
+    """Build ``SG(h)`` exactly as in Definition 9.
+
+    Nodes are execution ids.  For a type (a) witness ``t < t'`` with ``t``
+    conflicting with ``t'``, edges are added between *every* pair of
+    incomparable ancestors of the two issuing executions (this realises the
+    Observation following Definition 9).  For a type (b) witness ``m prec
+    m'`` among the message steps of an execution, edges are added between
+    every pair of executions descending from ``B(m)`` and ``B(m')``.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(history.execution_ids())
+
+    # Type (a): conflict-induced edges.
+    for first, second in _conflicting_ordered_pairs(history):
+        first_ancestors = history.ancestors(first.execution_id, include_self=True)
+        second_ancestors = history.ancestors(second.execution_id, include_self=True)
+        for source in first_ancestors:
+            for target in second_ancestors:
+                if source == target:
+                    continue
+                if history.are_incomparable(source, target):
+                    _add_edge(graph, source, target, ("conflict", first.step_id, second.step_id))
+
+    # Type (b): programme-structure edges.
+    for execution in history.executions.values():
+        messages = execution.message_steps()
+        for first_message, second_message in itertools.permutations(messages, 2):
+            if not execution.program_precedes(first_message, second_message):
+                continue
+            first_child = history.child_of_message(first_message)
+            second_child = history.child_of_message(second_message)
+            if first_child is None or second_child is None:
+                continue
+            for source in history.descendants(first_child):
+                for target in history.descendants(second_child):
+                    _add_edge(
+                        graph,
+                        source,
+                        target,
+                        ("structure", first_message.step_id, second_message.step_id),
+                    )
+    return graph
+
+
+def sg_local(history: History, object_name: str) -> nx.DiGraph:
+    """``SG_local(h, o)``: conflict ordering among the object's own executions.
+
+    Nodes are the method executions *of object* ``object_name``; there is an
+    edge ``e -> e'`` when the executions are incomparable and some step of
+    ``e`` itself precedes and conflicts with some step of ``e'`` itself
+    (Definition 10).
+    """
+    graph = nx.DiGraph()
+    executions = [
+        execution
+        for execution in history.executions.values()
+        if execution.object_name == object_name
+    ]
+    graph.add_nodes_from(execution.execution_id for execution in executions)
+    for first_execution, second_execution in itertools.permutations(executions, 2):
+        if not history.are_incomparable(first_execution.execution_id, second_execution.execution_id):
+            continue
+        for first_step in first_execution.local_steps():
+            for second_step in second_execution.local_steps():
+                if not history.precedes(first_step, second_step):
+                    continue
+                if history.conflicts.steps_conflict(first_step, second_step):
+                    _add_edge(
+                        graph,
+                        first_execution.execution_id,
+                        second_execution.execution_id,
+                        ("local-conflict", first_step.step_id, second_step.step_id),
+                    )
+    return graph
+
+
+def sg_mesg(history: History, object_name: str) -> nx.DiGraph:
+    """``SG_mesg(h, o)``: orderings the object's executions inherit from below.
+
+    Same nodes as :func:`sg_local`; an edge ``e -> e'`` appears when the two
+    executions are incomparable and some *proper descendants* ``f`` of ``e``
+    and ``f'`` of ``e'`` are joined by an edge of ``SG_local(h, o')`` for
+    some object ``o'`` (Definition 10).
+    """
+    graph = nx.DiGraph()
+    executions = [
+        execution
+        for execution in history.executions.values()
+        if execution.object_name == object_name
+    ]
+    graph.add_nodes_from(execution.execution_id for execution in executions)
+
+    local_graphs = {
+        other_object: sg_local(history, other_object) for other_object in _objects_with_executions(history)
+    }
+
+    for first_execution, second_execution in itertools.permutations(executions, 2):
+        first_id = first_execution.execution_id
+        second_id = second_execution.execution_id
+        if not history.are_incomparable(first_id, second_id):
+            continue
+        first_descendants = set(history.descendants(first_id, include_self=False))
+        second_descendants = set(history.descendants(second_id, include_self=False))
+        for local_graph in local_graphs.values():
+            for source, target in local_graph.edges:
+                if source in first_descendants and target in second_descendants:
+                    _add_edge(graph, first_id, second_id, ("mesg", source, target))
+    return graph
+
+
+def _objects_with_executions(history: History) -> set[str]:
+    return {execution.object_name for execution in history.executions.values()}
+
+
+def combined_object_graph(history: History, object_name: str) -> nx.DiGraph:
+    """``SG_local(h, o) union SG_mesg(h, o)`` — the graph of Theorem 5(a)."""
+    combined = nx.DiGraph()
+    local_graph = sg_local(history, object_name)
+    mesg_graph = sg_mesg(history, object_name)
+    combined.add_nodes_from(local_graph.nodes)
+    combined.add_nodes_from(mesg_graph.nodes)
+    for source, target, data in local_graph.edges(data=True):
+        _add_edge(combined, source, target, ("local", data["reasons"]))
+    for source, target, data in mesg_graph.edges(data=True):
+        _add_edge(combined, source, target, ("mesg", data["reasons"]))
+    return combined
+
+
+def message_relation(history: History, execution_id: str) -> nx.DiGraph:
+    """The relation ``->_e`` of Theorem 5(b) among the execution's messages.
+
+    ``u ->_e u'`` holds between two distinct message steps of the execution
+    when either the programme order of the execution places ``u`` before
+    ``u'`` or some descendant step of ``u`` precedes and conflicts with a
+    descendant step of ``u'``.
+    """
+    execution = history.execution(execution_id)
+    graph = nx.DiGraph()
+    messages = execution.message_steps()
+    graph.add_nodes_from(message.step_id for message in messages)
+    for first_message, second_message in itertools.permutations(messages, 2):
+        if execution.program_precedes(first_message, second_message):
+            _add_edge(graph, first_message.step_id, second_message.step_id, ("structure",))
+            continue
+        first_steps = _descendant_local_steps(history, first_message)
+        second_steps = _descendant_local_steps(history, second_message)
+        for first_step in first_steps:
+            for second_step in second_steps:
+                if first_step.object_name != second_step.object_name:
+                    continue
+                if not history.precedes(first_step, second_step):
+                    continue
+                conflict = history.conflicts.steps_conflict(
+                    first_step, second_step
+                ) or history.conflicts.steps_conflict(second_step, first_step)
+                if conflict:
+                    _add_edge(
+                        graph,
+                        first_message.step_id,
+                        second_message.step_id,
+                        ("conflict", first_step.step_id, second_step.step_id),
+                    )
+    return graph
+
+
+def _descendant_local_steps(history: History, message: MessageStep) -> list[LocalStep]:
+    steps: list[LocalStep] = []
+    child_id = history.child_of_message(message)
+    if child_id is None:
+        return steps
+    for execution_id in history.descendants(child_id):
+        steps.extend(history.execution(execution_id).local_steps())
+    return steps
+
+
+def is_acyclic(graph: nx.DiGraph) -> bool:
+    """True when the directed graph has no cycles."""
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def find_cycle(graph: nx.DiGraph) -> list[tuple[str, str]] | None:
+    """Return one cycle as a list of edges, or ``None`` if the graph is acyclic."""
+    try:
+        return [(source, target) for source, target in nx.find_cycle(graph)]
+    except nx.NetworkXNoCycle:
+        return None

@@ -1,0 +1,102 @@
+"""Immutable object states.
+
+A *state* of an object is "a mapping associating values to the variables of
+an object" (Definition 1).  :class:`ObjectState` is an immutable mapping:
+mutating operations return a new state, which makes it cheap for the
+simulation engine and the history replayer to keep snapshots around and to
+compare final states for history equivalence (Definition 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from .values import freeze, values_equal
+
+
+class ObjectState(Mapping[str, Any]):
+    """An immutable mapping from variable names to values.
+
+    Instances support the full read-only :class:`~collections.abc.Mapping`
+    protocol plus functional update methods (:meth:`set`, :meth:`update`,
+    :meth:`remove`) that return new states.
+    """
+
+    __slots__ = ("_variables", "_frozen")
+
+    def __init__(self, variables: Mapping[str, Any] | None = None):
+        self._variables: dict[str, Any] = dict(variables or {})
+        self._frozen = None
+
+    # -- Mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, variable: str) -> Any:
+        return self._variables[variable]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._variables)
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self._variables
+
+    # -- functional updates -------------------------------------------------
+
+    def set(self, variable: str, value: Any) -> "ObjectState":
+        """Return a new state with ``variable`` bound to ``value``."""
+        updated = dict(self._variables)
+        updated[variable] = value
+        return ObjectState(updated)
+
+    def update(self, changes: Mapping[str, Any]) -> "ObjectState":
+        """Return a new state with every binding in ``changes`` applied."""
+        updated = dict(self._variables)
+        updated.update(changes)
+        return ObjectState(updated)
+
+    def remove(self, variable: str) -> "ObjectState":
+        """Return a new state without ``variable`` (missing names are ignored)."""
+        updated = dict(self._variables)
+        updated.pop(variable, None)
+        return ObjectState(updated)
+
+    def get(self, variable: str, default: Any = None) -> Any:
+        return self._variables.get(variable, default)
+
+    # -- comparison and hashing ----------------------------------------------
+
+    def _frozen_form(self):
+        if self._frozen is None:
+            self._frozen = freeze(self._variables)
+        return self._frozen
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectState):
+            return self._frozen_form() == other._frozen_form()
+        if isinstance(other, Mapping):
+            return values_equal(self._variables, dict(other))
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._frozen_form())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in sorted(self._variables.items()))
+        return f"ObjectState({inner})"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return a plain mutable copy of the variable bindings."""
+        return dict(self._variables)
+
+
+EMPTY_STATE = ObjectState()
+"""A shared empty state, convenient as a default initial state."""

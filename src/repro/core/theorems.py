@@ -1,0 +1,398 @@
+"""Executable forms of the paper's theorems.
+
+* **Theorem 1** (determinacy): the final state of each object in a legal
+  history does not depend on which topological sort of its local steps is
+  replayed.  :func:`check_determinacy` tests this directly by replaying
+  several randomly tie-broken sorts.
+* **Theorem 2** (the Serialisability Theorem): if ``SG(h)`` is acyclic then
+  ``h`` is serialisable.  :func:`is_serialisable` applies the acyclicity
+  test; :func:`serialise` goes further and *constructs* the equivalent
+  serial history following the proof of the theorem (the ``=>`` relation,
+  extended level by level, then the ``<_s`` order of Claims 2-6).
+* **Theorem 5** (modular synchronisation): a history is serialisable
+  provided each object's ``SG_local union SG_mesg`` is acyclic and each
+  execution's message relation ``->_e`` is acyclic.
+  :func:`theorem_5_conditions` evaluates both conditions and reports which
+  objects or executions violate them.
+
+A brute-force oracle (:func:`brute_force_serialisable`) is provided for
+cross-checking the above on small histories in the test-suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .errors import IllegalStepSequenceError, ModelError, VerificationError
+from .graphs import (
+    combined_object_graph,
+    find_cycle,
+    is_acyclic,
+    message_relation,
+    serialisation_graph,
+)
+from .history import History
+from .operations import LocalStep, MessageStep, Step
+from .state import ObjectState
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1 — determinacy of legal histories
+# ---------------------------------------------------------------------------
+
+
+def check_determinacy(history: History, attempts: int = 5, seed: int = 0) -> bool:
+    """Replay each object under several topological sorts and compare states.
+
+    Returns ``True`` when every replay is legal and all replays of an object
+    agree on its final state — the guarantee of Theorem 1.  Raises
+    :class:`IllegalStepSequenceError` if some sort is not legal on the
+    initial state (which would mean the history itself is not legal).
+    """
+    rng = random.Random(seed)
+    for object_name in sorted(history.object_names()):
+        reference = history.replay(object_name)
+        steps = history.local_steps(object_name)
+        for _ in range(attempts):
+            order = _random_topological_sort(history, steps, rng)
+            state = history.replay(object_name, order)
+            if state != reference:
+                return False
+    return True
+
+
+def _random_topological_sort(
+    history: History, steps: list[LocalStep], rng: random.Random
+) -> list[LocalStep]:
+    remaining = {step.step_id: step for step in steps}
+    indegree = {step.step_id: 0 for step in steps}
+    successors: dict[int, list[int]] = {step.step_id: [] for step in steps}
+    for first, second in itertools.permutations(steps, 2):
+        if history.precedes(first, second):
+            successors[first.step_id].append(second.step_id)
+            indegree[second.step_id] += 1
+    ready = [step_id for step_id, degree in indegree.items() if degree == 0]
+    ordered: list[LocalStep] = []
+    while ready:
+        index = rng.randrange(len(ready))
+        current = ready.pop(index)
+        ordered.append(remaining[current])
+        for successor in successors[current]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    if len(ordered) != len(steps):
+        raise ModelError("temporal order contains a cycle among local steps")
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2 — the serialisability theorem
+# ---------------------------------------------------------------------------
+
+
+def is_serialisable(history: History) -> bool:
+    """Sufficient condition of Theorem 2: ``SG(h)`` acyclic implies serialisable."""
+    return is_acyclic(serialisation_graph(history))
+
+
+def serialisation_cycle(history: History) -> list[tuple[str, str]] | None:
+    """A cycle of ``SG(h)`` if one exists (useful for diagnostics)."""
+    return find_cycle(serialisation_graph(history))
+
+
+def execution_serial_order(history: History) -> list[str]:
+    """A total order of all executions compatible with ``SG(h)``.
+
+    The order is produced exactly as in the proof of Theorem 2: siblings
+    under each parent (and the top-level executions) are ordered by a
+    topological sort of the serialisation graph restricted to them, and the
+    ordering is inherited by descendants.  Raises :class:`ModelError` when
+    ``SG(h)`` is cyclic.
+    """
+    index = _serial_index(history)
+    return sorted(index, key=lambda execution_id: index[execution_id])
+
+
+def _serial_index(history: History) -> dict[str, tuple[int, ...]]:
+    graph = serialisation_graph(history)
+    if not is_acyclic(graph):
+        raise ModelError("serialisation graph has a cycle; history may not be serialisable")
+    index: dict[str, tuple[int, ...]] = {}
+
+    def assign(parent_id: str | None, prefix: tuple[int, ...]) -> None:
+        if parent_id is None:
+            siblings = history.top_level_executions()
+        else:
+            siblings = history.children_of(parent_id)
+        if not siblings:
+            return
+        restricted = graph.subgraph(siblings).copy()
+        ordered = list(nx.lexicographical_topological_sort(restricted, key=str))
+        for position, execution_id in enumerate(ordered):
+            index[execution_id] = prefix + (position,)
+            assign(execution_id, prefix + (position,))
+
+    assign(None, ())
+    return index
+
+
+def serialise(history: History, verify: bool = True) -> History:
+    """Construct the serial history ``h_s`` equivalent to ``history``.
+
+    This follows the proof of Theorem 2: an ordering ``=>`` of incomparable
+    executions is derived from the (acyclic) serialisation graph by ordering
+    siblings level by level and inheriting the order to descendants; the
+    serial order ``<_s`` over steps is then generated by the rules
+    ``<_s.1(a)-(c)`` for steps of comparable executions and ``<_s.2`` for
+    steps of incomparable executions.  With ``verify=True`` the constructed
+    history is checked to be legal, serial and equivalent to the input —
+    i.e. the statement of Theorem 2 is validated on the instance.
+    """
+    index = _serial_index(history)
+
+    def execution_before(first_id: str, second_id: str) -> bool:
+        return index[first_id] < index[second_id]
+
+    pairs: set[tuple[int, int]] = set()
+    executions = history.executions
+
+    # <_s.1 — steps of comparable method executions.
+    for first_id, second_id in itertools.product(executions, repeat=2):
+        first_execution = executions[first_id]
+        second_execution = executions[second_id]
+        first_is_ancestor = history.is_ancestor(first_id, second_id)
+        second_is_ancestor = history.is_ancestor(second_id, first_id)
+        if not (first_is_ancestor or second_is_ancestor):
+            continue
+        for first_step in first_execution.steps():
+            for second_step in second_execution.steps():
+                if first_step.step_id == second_step.step_id:
+                    continue
+                if _comparable_steps_ordered(
+                    history, first_step, second_step, first_is_ancestor, second_is_ancestor
+                ):
+                    pairs.add((first_step.step_id, second_step.step_id))
+
+    # <_s.2 — steps of incomparable method executions follow the => order.
+    for first_id, second_id in itertools.permutations(executions, 2):
+        if not history.are_incomparable(first_id, second_id):
+            continue
+        if not execution_before(first_id, second_id):
+            continue
+        for first_step in executions[first_id].steps():
+            for second_step in executions[second_id].steps():
+                pairs.add((first_step.step_id, second_step.step_id))
+
+    serial_history = History(
+        list(executions.values()),
+        history.initial_states,
+        conflicts=history.conflicts,
+        order_pairs=pairs,
+    )
+    if verify:
+        serial_history.check_legal()
+        if not serial_history.is_serial():
+            raise VerificationError("constructed history is not serial")
+        if not serial_history.equivalent_to(history):
+            raise VerificationError("constructed serial history is not equivalent to the input")
+    return serial_history
+
+
+def _comparable_steps_ordered(
+    history: History,
+    first_step: Step,
+    second_step: Step,
+    first_is_ancestor: bool,
+    second_is_ancestor: bool,
+) -> bool:
+    """Evaluate rules ``<_s.1(a)-(c)`` for one ordered pair of steps."""
+    # (a) conflicting steps keep their temporal order.
+    if isinstance(first_step, LocalStep) and isinstance(second_step, LocalStep):
+        if first_step.object_name == second_step.object_name and history.precedes(
+            first_step, second_step
+        ):
+            spec = history.conflicts
+            if spec.steps_conflict(first_step, second_step) or spec.steps_conflict(
+                second_step, first_step
+            ):
+                return True
+    # (b) the ancestor execution's programme order is respected.
+    if first_is_ancestor:
+        ancestor_execution = history.execution(first_step.execution_id)
+        surrogate = _ancestor_step_in(history, second_step, ancestor_execution.execution_id)
+        if surrogate is not None and ancestor_execution.program_precedes(first_step, surrogate):
+            return True
+    # (c) symmetric case: the other execution is the ancestor.
+    if second_is_ancestor:
+        ancestor_execution = history.execution(second_step.execution_id)
+        surrogate = _ancestor_step_in(history, first_step, ancestor_execution.execution_id)
+        if surrogate is not None and ancestor_execution.program_precedes(surrogate, second_step):
+            return True
+    return False
+
+
+def _ancestor_step_in(history: History, step: Step, ancestor_execution_id: str) -> Step | None:
+    """The ancestor of ``step`` among the steps of ``ancestor_execution_id``.
+
+    If the step already belongs to that execution it is its own ancestor;
+    otherwise the surrogate is the message step of the ancestor execution
+    whose subtree contains the step.
+    """
+    if step.execution_id == ancestor_execution_id:
+        return step
+    current_id = step.execution_id
+    while current_id is not None:
+        execution = history.execution(current_id)
+        if execution.parent_id == ancestor_execution_id:
+            if execution.invoking_step_id is None:
+                return None
+            return history.step(execution.invoking_step_id)
+        current_id = execution.parent_id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5 — separating intra- and inter-object synchronisation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Theorem5Report:
+    """Outcome of evaluating the two conditions of Theorem 5 on a history."""
+
+    holds: bool
+    cyclic_objects: list[str] = field(default_factory=list)
+    cyclic_executions: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.holds
+
+
+def theorem_5_conditions(history: History) -> Theorem5Report:
+    """Evaluate conditions (a) and (b) of Theorem 5.
+
+    (a) for every object ``o``, ``SG_local(h, o) union SG_mesg(h, o)`` is
+        acyclic; (b) for every execution ``e`` the message relation ``->_e``
+        is acyclic.  When both hold the history is serialisable.
+    """
+    cyclic_objects: list[str] = []
+    object_names = {execution.object_name for execution in history.executions.values()}
+    for object_name in sorted(object_names):
+        if not is_acyclic(combined_object_graph(history, object_name)):
+            cyclic_objects.append(object_name)
+
+    cyclic_executions: list[str] = []
+    for execution_id in sorted(history.execution_ids()):
+        if not is_acyclic(message_relation(history, execution_id)):
+            cyclic_executions.append(execution_id)
+
+    holds = not cyclic_objects and not cyclic_executions
+    return Theorem5Report(holds, cyclic_objects, cyclic_executions)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle (for testing Theorem 2 on small histories)
+# ---------------------------------------------------------------------------
+
+
+def brute_force_serialisable(history: History, candidate_limit: int = 20000) -> bool:
+    """Search serial arrangements of the executions for an equivalent one.
+
+    The oracle enumerates orderings of siblings at every level of the
+    execution forest (up to ``candidate_limit`` arrangements), replays each
+    object's local steps in the induced serial order and compares final
+    states with the input history.  It considers serial histories in which
+    every execution's steps and its children's subtrees appear as contiguous
+    blocks; this covers all serial histories needed for the library's test
+    cases, but is in principle an under-approximation, so a ``False`` result
+    means "no block-serial equivalent found".
+    """
+    reference_states = history.final_states()
+
+    sibling_groups: list[list[str]] = []
+    sibling_groups.append(sorted(history.top_level_executions()))
+    for execution_id in sorted(history.execution_ids()):
+        children = sorted(history.children_of(execution_id))
+        if children:
+            sibling_groups.append(children)
+
+    permutation_sets = [list(itertools.permutations(group)) for group in sibling_groups]
+    total = 1
+    for permutations in permutation_sets:
+        total *= len(permutations)
+    if total > candidate_limit:
+        raise ModelError(
+            f"brute-force search space of {total} arrangements exceeds the limit "
+            f"of {candidate_limit}"
+        )
+
+    for assignment in itertools.product(*permutation_sets):
+        ordering = {tuple(sorted(perm)): list(perm) for perm in assignment}
+        if _serial_arrangement_matches(history, ordering, reference_states):
+            return True
+    return False
+
+
+def _serial_arrangement_matches(
+    history: History,
+    ordering: dict[tuple[str, ...], list[str]],
+    reference_states: dict[str, ObjectState],
+) -> bool:
+    per_object: dict[str, list[LocalStep]] = {name: [] for name in history.object_names()}
+
+    def ordered_siblings(siblings: list[str]) -> list[str]:
+        return ordering.get(tuple(sorted(siblings)), sorted(siblings))
+
+    def emit(execution_id: str) -> None:
+        execution = history.execution(execution_id)
+        child_rank = {
+            child: rank
+            for rank, child in enumerate(ordered_siblings(history.children_of(execution_id)))
+        }
+
+        def preference(step: Step) -> tuple[int, int]:
+            if isinstance(step, MessageStep):
+                child_id = history.child_of_message(step)
+                return (child_rank.get(child_id, 0), step.step_id)
+            return (0, step.step_id)
+
+        for step in _program_order_sort(execution, preference):
+            if isinstance(step, LocalStep):
+                per_object.setdefault(step.object_name, []).append(step)
+            elif isinstance(step, MessageStep):
+                child_id = history.child_of_message(step)
+                if child_id is not None:
+                    emit(child_id)
+
+    for top_level in ordered_siblings(history.top_level_executions()):
+        emit(top_level)
+
+    for object_name, steps in per_object.items():
+        state = history.initial_state(object_name)
+        for step in steps:
+            value, state = step.operation.apply(state)
+            if value != step.return_value and not step.is_abort():
+                return False
+        if state != reference_states.get(object_name, ObjectState()):
+            return False
+    return True
+
+
+def _program_order_sort(execution, preference=None) -> list[Step]:
+    steps = execution.steps()
+    graph = nx.DiGraph()
+    graph.add_nodes_from(step.step_id for step in steps)
+    graph.add_edges_from(execution.program_order_pairs())
+    by_id = {step.step_id: step for step in steps}
+    if preference is None:
+        key = int
+    else:
+        def key(step_id: int):
+            return preference(by_id[step_id])
+    ordered_ids = list(nx.lexicographical_topological_sort(graph, key=key))
+    return [by_id[step_id] for step_id in ordered_ids]

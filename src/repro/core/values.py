@@ -1,0 +1,43 @@
+"""Helpers for the value domain of object variables.
+
+Object states map variable names to values.  The formal model does not
+restrict what a value may be; in practice we need values to be comparable
+(for equality of states, Definition 7) and often hashable (so states can be
+used as dictionary keys by the commutativity explorer).  :func:`freeze`
+converts arbitrary nested containers into an immutable, hashable form, and
+:func:`values_equal` compares values structurally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence, Set
+from typing import Any, Hashable
+
+
+def freeze(value: Any) -> Hashable:
+    """Return an immutable, hashable representation of ``value``.
+
+    Lists and tuples become tuples, sets become frozensets, mappings become
+    sorted tuples of ``(key, frozen_value)`` pairs.  Scalars are returned
+    unchanged.  The transformation is structural, so two values that compare
+    equal produce identical frozen forms.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)) or (
+        isinstance(value, Set) and not isinstance(value, (str, bytes))
+    ):
+        return frozenset(freeze(v) for v in value)
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        return tuple(freeze(v) for v in value)
+    return value
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """Structural equality between two variable values.
+
+    Sequences of different concrete types (list vs. tuple) are considered
+    equal when their elements are; this keeps replayed states comparable to
+    hand-written expected states in tests.
+    """
+    return freeze(left) == freeze(right)

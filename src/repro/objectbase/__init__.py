@@ -1,0 +1,17 @@
+"""Object-base runtime: object definitions, methods and ready-made ADTs."""
+
+from .base import (
+    MethodDefinition,
+    ObjectBase,
+    ObjectDefinition,
+    build_object_base,
+    single_operation_method,
+)
+
+__all__ = [
+    "MethodDefinition",
+    "ObjectBase",
+    "ObjectDefinition",
+    "build_object_base",
+    "single_operation_method",
+]

@@ -1,0 +1,110 @@
+"""Concurrency-control schedulers for object bases.
+
+The package provides the algorithms the paper analyses — nested two-phase
+locking (Moss) and nested timestamp ordering (Reed) at both conflict
+granularities — plus the coarse single-active-object baseline of the
+introduction, an optimistic certifier, and the modular intra-/inter-object
+scheduler of Section 5.3.  :func:`make_scheduler` builds any of them by
+name, which the benchmark harness uses for its parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import (
+    Decision,
+    ExecutionInfo,
+    OPERATION_LEVEL,
+    OperationRequest,
+    STEP_LEVEL,
+    Scheduler,
+    SchedulerResponse,
+)
+from .certifier import OptimisticCertifier
+from .deadlock import WaitsForGraph
+from .locks import LockEntry, LockManager, LockRequestOutcome
+from .modular import (
+    BTreeKeyLocking,
+    InterObjectCoordinator,
+    IntraObjectLocking,
+    IntraObjectSynchroniser,
+    IntraObjectTimestampOrdering,
+    ModularScheduler,
+    disjoint_ancestors,
+)
+from .n2pl import NestedTwoPhaseLocking, StepLevelNestedTwoPhaseLocking
+from .nto import NestedTimestampOrdering, StepLevelNestedTimestampOrdering
+from .single_active import SingleActiveObjectScheduler
+from .timestamps import HierarchicalTimestamp, TimestampAuthority
+
+SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
+    "pass-through": Scheduler,
+    "n2pl": lambda **kwargs: NestedTwoPhaseLocking(level=kwargs.get("level", OPERATION_LEVEL)),
+    "n2pl-step": lambda **kwargs: NestedTwoPhaseLocking(level=STEP_LEVEL),
+    "nto": lambda **kwargs: NestedTimestampOrdering(level=kwargs.get("level", OPERATION_LEVEL)),
+    "nto-step": lambda **kwargs: NestedTimestampOrdering(level=STEP_LEVEL),
+    "single-active": lambda **kwargs: SingleActiveObjectScheduler(),
+    "certifier": lambda **kwargs: OptimisticCertifier(level=kwargs.get("level", STEP_LEVEL)),
+    "modular": lambda **kwargs: ModularScheduler(
+        default_strategy=kwargs.get("default_strategy", "locking"),
+        per_object_strategy=kwargs.get("per_object_strategy"),
+        inter_object_checks=kwargs.get("inter_object_checks", True),
+        level=kwargs.get("level", STEP_LEVEL),
+    ),
+    "modular-intra-only": lambda **kwargs: ModularScheduler(
+        default_strategy=kwargs.get("default_strategy", "locking"),
+        per_object_strategy=kwargs.get("per_object_strategy"),
+        inter_object_checks=False,
+        level=kwargs.get("level", STEP_LEVEL),
+    ),
+}
+
+
+def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
+    """Instantiate a scheduler by its registry name (see ``scheduler_names``)."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULER_FACTORIES))}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def scheduler_names() -> list[str]:
+    """Names accepted by :func:`make_scheduler`."""
+    return sorted(SCHEDULER_FACTORIES)
+
+
+__all__ = [
+    "BTreeKeyLocking",
+    "Decision",
+    "ExecutionInfo",
+    "HierarchicalTimestamp",
+    "InterObjectCoordinator",
+    "IntraObjectLocking",
+    "IntraObjectSynchroniser",
+    "IntraObjectTimestampOrdering",
+    "LockEntry",
+    "LockManager",
+    "LockRequestOutcome",
+    "ModularScheduler",
+    "NestedTimestampOrdering",
+    "NestedTwoPhaseLocking",
+    "OPERATION_LEVEL",
+    "OperationRequest",
+    "OptimisticCertifier",
+    "STEP_LEVEL",
+    "SCHEDULER_FACTORIES",
+    "Scheduler",
+    "SchedulerResponse",
+    "SingleActiveObjectScheduler",
+    "StepLevelNestedTimestampOrdering",
+    "StepLevelNestedTwoPhaseLocking",
+    "TimestampAuthority",
+    "WaitsForGraph",
+    "disjoint_ancestors",
+    "make_scheduler",
+    "scheduler_names",
+]

@@ -1,0 +1,182 @@
+"""Scheduler interface shared by all concurrency-control algorithms.
+
+A scheduler is an *online* arbiter: the simulation engine consults it
+before every local operation and at every transaction lifecycle event, and
+the scheduler answers with one of three decisions:
+
+* ``GRANT`` — the operation may execute now;
+* ``BLOCK`` — the operation must wait (the engine will retry later);
+* ``ABORT`` — the issuing top-level transaction must abort (the engine
+  undoes its effects and may restart it).
+
+The scheduler sees, with every request, the issuing method execution's
+identity and ancestry (:class:`ExecutionInfo`) and the operation together
+with the value it *would* return on the current state
+(:class:`OperationRequest.provisional_step`).  The provisional value is how
+the engine realises the paper's "provisionally issue an operation, observe
+the resulting return value, and, having established the actual step,
+acquire the necessary lock" implementation of step-level conflict
+detection (Section 5.1); schedulers that only use operation-level
+conflicts simply ignore it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.conflicts import PerObjectConflicts
+from ..core.operations import LocalOperation, LocalStep
+from ..objectbase.base import ObjectBase
+
+OPERATION_LEVEL = "operation"
+STEP_LEVEL = "step"
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """Identity and ancestry of one method execution, as seen by schedulers."""
+
+    execution_id: str
+    object_name: str
+    method_name: str
+    parent_id: str | None
+    ancestor_ids: tuple[str, ...]
+    top_level_id: str
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent_id is None
+
+    def is_ancestor_or_self(self, other_execution_id: str) -> bool:
+        """True when ``other_execution_id`` is this execution or an ancestor of it."""
+        return other_execution_id == self.execution_id or other_execution_id in self.ancestor_ids
+
+
+@dataclass(frozen=True)
+class OperationRequest:
+    """A request to execute one local operation on behalf of an execution."""
+
+    info: ExecutionInfo
+    object_name: str
+    operation: LocalOperation
+    provisional_step: LocalStep
+
+    def lock_item(self, level: str) -> LocalOperation | LocalStep:
+        """What should be locked / conflict-checked at the given granularity."""
+        return self.operation if level == OPERATION_LEVEL else self.provisional_step
+
+
+class Decision(enum.Enum):
+    """The three possible answers of a scheduler."""
+
+    GRANT = "grant"
+    BLOCK = "block"
+    ABORT = "abort"
+
+
+@dataclass
+class SchedulerResponse:
+    """A decision plus a human-readable reason and optional blocker set."""
+
+    decision: Decision
+    reason: str = ""
+    blockers: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def grant(cls) -> "SchedulerResponse":
+        return cls(Decision.GRANT)
+
+    @classmethod
+    def block(cls, reason: str = "", blockers: frozenset[str] | set[str] = frozenset()) -> "SchedulerResponse":
+        return cls(Decision.BLOCK, reason, frozenset(blockers))
+
+    @classmethod
+    def abort(cls, reason: str = "") -> "SchedulerResponse":
+        return cls(Decision.ABORT, reason)
+
+    @property
+    def granted(self) -> bool:
+        return self.decision is Decision.GRANT
+
+    @property
+    def blocked(self) -> bool:
+        return self.decision is Decision.BLOCK
+
+    @property
+    def aborted(self) -> bool:
+        return self.decision is Decision.ABORT
+
+
+class Scheduler:
+    """Base class: grants everything and tracks nothing.
+
+    Subclasses override the hooks they care about.  The engine calls them
+    in this order for a typical transaction::
+
+        on_transaction_begin(T)
+        on_invoke(T, T.1) ... on_operation(...) / on_operation_executed(...)
+        on_execution_complete(T.1)
+        ...
+        on_commit_request(T)            # may veto with ABORT
+        on_transaction_commit(T)        # or on_transaction_abort(T, subtree)
+
+    ``attach`` is called once before the run starts and provides the object
+    base plus the per-object conflict registries at both granularities.
+    """
+
+    name = "pass-through"
+
+    def __init__(self) -> None:
+        self.object_base: ObjectBase | None = None
+        self.operation_conflicts: PerObjectConflicts = PerObjectConflicts()
+        self.step_conflicts: PerObjectConflicts = PerObjectConflicts()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, object_base: ObjectBase) -> None:
+        """Bind the scheduler to the object base it will arbitrate for."""
+        self.object_base = object_base
+        self.operation_conflicts = object_base.conflicts(OPERATION_LEVEL)
+        self.step_conflicts = object_base.conflicts(STEP_LEVEL)
+
+    def conflicts_for(self, level: str) -> PerObjectConflicts:
+        return self.operation_conflicts if level == OPERATION_LEVEL else self.step_conflicts
+
+    # -- lifecycle hooks --------------------------------------------------------
+
+    def on_transaction_begin(self, info: ExecutionInfo) -> None:
+        """A new top-level transaction (or a restart of one) has started."""
+
+    def on_invoke(self, parent: ExecutionInfo, child: ExecutionInfo) -> None:
+        """A message step created the child method execution."""
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+        """Arbitrate a local operation request."""
+        return SchedulerResponse.grant()
+
+    def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
+        """The operation was executed and returned ``value``."""
+
+    def on_execution_complete(self, info: ExecutionInfo) -> None:
+        """A (child) method execution finished normally."""
+
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        """A top-level transaction asks to commit (certifiers may veto)."""
+        return SchedulerResponse.grant()
+
+    def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        """A top-level transaction committed."""
+
+    def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
+        """A top-level transaction aborted; ``subtree`` lists its executions."""
+
+    # -- descriptive ------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Scheduler description recorded alongside run metrics."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,147 @@
+"""Optimistic certifier scheduler.
+
+Section 6 of the paper mentions "techniques that resemble certifiers (or
+'optimistic' schedulers) in conventional database concurrency control"
+which favour unconstrained intra-object execution at the price of
+validation aborts.  This scheduler realises that end of the trade-off:
+
+* every local operation is granted immediately (no blocking, no timestamp
+  checks);
+* when a top-level transaction asks to commit, its conflicts with already
+  *committed* transactions are examined — if serialising it after its
+  predecessors would close a cycle in the committed-precedence graph, the
+  transaction is aborted (backward validation), otherwise it commits and
+  its precedence edges become part of the committed graph.
+
+The committed projection of any run is therefore serialisable, which the
+post-hoc certification in :mod:`repro.analysis` verifies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+import networkx as nx
+
+from ..core.operations import LocalStep
+from ..objectbase.base import ObjectBase
+from .base import (
+    OPERATION_LEVEL,
+    STEP_LEVEL,
+    ExecutionInfo,
+    OperationRequest,
+    Scheduler,
+    SchedulerResponse,
+)
+
+
+@dataclass
+class _ExecutedStep:
+    """A step executed on behalf of some top-level transaction."""
+
+    sequence: int
+    step: LocalStep
+    transaction_id: str
+
+
+class OptimisticCertifier(Scheduler):
+    """Execute-then-validate concurrency control (backward validation)."""
+
+    name = "certifier"
+
+    def __init__(self, level: str = STEP_LEVEL):
+        super().__init__()
+        if level not in (OPERATION_LEVEL, STEP_LEVEL):
+            raise ValueError(f"unknown conflict level {level!r}")
+        self.level = level
+        self._sequence = itertools.count(1)
+        self._steps_by_object: dict[str, list[_ExecutedStep]] = defaultdict(list)
+        self._committed: set[str] = set()
+        self._committed_graph = nx.DiGraph()
+        self.validation_aborts = 0
+
+    def attach(self, object_base: ObjectBase) -> None:
+        super().attach(object_base)
+        self._sequence = itertools.count(1)
+        self._steps_by_object = defaultdict(list)
+        self._committed = set()
+        self._committed_graph = nx.DiGraph()
+        self.validation_aborts = 0
+
+    # -- execution phase ----------------------------------------------------------
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+        return SchedulerResponse.grant()
+
+    def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
+        step = LocalStep(
+            request.info.execution_id, request.object_name, request.operation, value
+        )
+        self._steps_by_object[request.object_name].append(
+            _ExecutedStep(next(self._sequence), step, request.info.top_level_id)
+        )
+
+    # -- validation phase ----------------------------------------------------------
+
+    def _conflicting(self, object_name: str, earlier: LocalStep, later: LocalStep) -> bool:
+        # Precedence edges follow the serialisation-graph definition: only
+        # "earlier conflicts with later" forces the earlier transaction first.
+        if self.level == STEP_LEVEL:
+            spec = self.step_conflicts[object_name]
+            return spec.steps_conflict(earlier, later)
+        spec = self.operation_conflicts[object_name]
+        return spec.operations_conflict(earlier.operation, later.operation)
+
+    def _precedence_edges(self, candidate_id: str) -> set[tuple[str, str]]:
+        """Edges between committed transactions and the candidate."""
+        relevant = self._committed | {candidate_id}
+        edges: set[tuple[str, str]] = set()
+        for object_name, records in self._steps_by_object.items():
+            for first, second in itertools.combinations(records, 2):
+                if first.transaction_id == second.transaction_id:
+                    continue
+                if first.transaction_id not in relevant or second.transaction_id not in relevant:
+                    continue
+                if candidate_id not in (first.transaction_id, second.transaction_id):
+                    continue
+                earlier, later = (first, second) if first.sequence < second.sequence else (second, first)
+                if self._conflicting(object_name, earlier.step, later.step):
+                    edges.add((earlier.transaction_id, later.transaction_id))
+        return edges
+
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        candidate_id = info.top_level_id
+        edges = self._precedence_edges(candidate_id)
+        trial_graph = self._committed_graph.copy()
+        trial_graph.add_node(candidate_id)
+        trial_graph.add_edges_from(edges)
+        if nx.is_directed_acyclic_graph(trial_graph):
+            self._committed_graph = trial_graph
+            return SchedulerResponse.grant()
+        self.validation_aborts += 1
+        return SchedulerResponse.abort(
+            "validation failed: committing would create a precedence cycle"
+        )
+
+    def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        self._committed.add(info.top_level_id)
+
+    def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
+        transaction_id = info.top_level_id
+        for records in self._steps_by_object.values():
+            records[:] = [record for record in records if record.transaction_id != transaction_id]
+        if transaction_id in self._committed_graph and transaction_id not in self._committed:
+            self._committed_graph.remove_node(transaction_id)
+
+    # -- descriptive ------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "level": self.level,
+            "validation_aborts": self.validation_aborts,
+            "committed": len(self._committed),
+        }

@@ -1,0 +1,77 @@
+"""Waits-for graph and deadlock detection for blocking schedulers.
+
+Two-phase locking schedulers may deadlock (the paper notes that NTO, by
+contrast, aborts instead of waiting and is deadlock free).  The detector
+below maintains a waits-for graph at top-level-transaction granularity:
+when execution ``e`` of transaction ``T`` blocks on locks held by
+executions of transaction ``T'``, an edge ``T -> T'`` is recorded.  A cycle
+(including the degenerate self-loop produced when two sibling executions of
+the same transaction block each other) means no further progress is
+possible and a victim must be aborted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class WaitsForGraph:
+    """A mutable waits-for graph over top-level transaction identifiers."""
+
+    def __init__(self) -> None:
+        self._edges: dict[str, set[str]] = defaultdict(set)
+
+    def set_waits(self, waiter: str, holders: set[str]) -> None:
+        """Replace the out-edges of ``waiter`` with the given holder set.
+
+        Self-loops are kept: a transaction whose sibling executions wait on
+        one another is just as stuck as a cross-transaction cycle.
+        """
+        holder_set = set(holders)
+        if holder_set:
+            self._edges[waiter] = holder_set
+        else:
+            self._edges.pop(waiter, None)
+
+    def clear_waits(self, waiter: str) -> None:
+        """Remove every wait recorded for ``waiter``."""
+        self._edges.pop(waiter, None)
+
+    def remove_transaction(self, transaction_id: str) -> None:
+        """Remove the transaction both as waiter and as holder."""
+        self._edges.pop(transaction_id, None)
+        for holders in self._edges.values():
+            holders.discard(transaction_id)
+
+    def edges(self) -> dict[str, set[str]]:
+        return {waiter: set(holders) for waiter, holders in self._edges.items()}
+
+    def waits_of(self, waiter: str) -> set[str]:
+        return set(self._edges.get(waiter, set()))
+
+    def find_cycle_from(self, start: str) -> list[str] | None:
+        """Return a cycle reachable from ``start`` (as a list of nodes), if any."""
+        path: list[str] = []
+        on_path: set[str] = set()
+        visited: set[str] = set()
+
+        def visit(node: str) -> list[str] | None:
+            path.append(node)
+            on_path.add(node)
+            for successor in self._edges.get(node, ()):  # deterministic enough for tests
+                if successor in on_path:
+                    return path[path.index(successor) :]
+                if successor not in visited:
+                    found = visit(successor)
+                    if found is not None:
+                        return found
+            on_path.discard(node)
+            visited.add(node)
+            path.pop()
+            return None
+
+        return visit(start)
+
+    def has_self_wait(self, transaction_id: str) -> bool:
+        """True when a transaction's executions wait on one another."""
+        return transaction_id in self._edges.get(transaction_id, set())

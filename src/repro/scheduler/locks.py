@@ -1,0 +1,159 @@
+"""Lock management for nested two-phase locking.
+
+Locks are associated with operations or with steps (operation + return
+value), following the two implementation strategies Section 5.1 discusses.
+A lock request conflicts with a held lock when the corresponding
+operations/steps conflict according to the object's conflict
+specification; per Moss' rules the request can only be granted when every
+conflicting holder is an *ancestor* of the requester.
+
+The :class:`LockManager` also implements lock inheritance (rule 5): when a
+method execution completes, its locks are transferred to — "immediately
+acquired by" — its parent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.conflicts import PerObjectConflicts
+from ..core.operations import LocalOperation, LocalStep
+from .base import ExecutionInfo
+
+
+@dataclass
+class LockEntry:
+    """One held lock: the owner and the operation/step it covers."""
+
+    owner_id: str
+    object_name: str
+    item: LocalOperation | LocalStep
+
+    def operation(self) -> LocalOperation:
+        return self.item.operation if isinstance(self.item, LocalStep) else self.item
+
+
+@dataclass
+class LockRequestOutcome:
+    """Result of a lock request: granted or the set of blocking owners."""
+
+    granted: bool
+    blockers: frozenset[str] = frozenset()
+
+
+class LockManager:
+    """Holds lock tables for every object of the base.
+
+    Parameters
+    ----------
+    conflicts:
+        Per-object conflict registry used to decide lock compatibility.
+    step_level:
+        When true, conflicts are evaluated between steps (return-value
+        aware); otherwise between operations.
+    """
+
+    def __init__(self, conflicts: PerObjectConflicts, step_level: bool = False):
+        self._conflicts = conflicts
+        self._step_level = step_level
+        self._locks_by_object: dict[str, list[LockEntry]] = defaultdict(list)
+        self._locks_by_owner: dict[str, list[LockEntry]] = defaultdict(list)
+
+    # -- queries ----------------------------------------------------------------
+
+    def holders(self, object_name: str) -> list[LockEntry]:
+        """All lock entries currently held on the object."""
+        return list(self._locks_by_object.get(object_name, []))
+
+    def held_by(self, owner_id: str) -> list[LockEntry]:
+        """All lock entries currently owned by the execution."""
+        return list(self._locks_by_owner.get(owner_id, []))
+
+    def lock_count(self) -> int:
+        return sum(len(entries) for entries in self._locks_by_object.values())
+
+    def _items_conflict(
+        self,
+        object_name: str,
+        held: LocalOperation | LocalStep,
+        requested: LocalOperation | LocalStep,
+    ) -> bool:
+        # The held lock's step executed (or will execute) before the requested
+        # one, so the relevant relation is "held conflicts with requested" —
+        # the same directional relation that induces serialisation-graph
+        # edges.  Commutativity is allowed to be asymmetric (Definition 3),
+        # and exploiting the asymmetry admits strictly more concurrency.
+        spec = self._conflicts[object_name]
+        if isinstance(held, LocalStep) and isinstance(requested, LocalStep):
+            return spec.steps_conflict(held, requested)
+        held_operation = held.operation if isinstance(held, LocalStep) else held
+        requested_operation = (
+            requested.operation if isinstance(requested, LocalStep) else requested
+        )
+        return spec.operations_conflict(held_operation, requested_operation)
+
+    def conflicting_holders(
+        self,
+        object_name: str,
+        item: LocalOperation | LocalStep,
+        requester: ExecutionInfo,
+    ) -> set[str]:
+        """Owners of conflicting locks that are *not* ancestors of the requester."""
+        blockers: set[str] = set()
+        for entry in self._locks_by_object.get(object_name, []):
+            if requester.is_ancestor_or_self(entry.owner_id):
+                continue
+            if self._items_conflict(object_name, entry.item, item):
+                blockers.add(entry.owner_id)
+        return blockers
+
+    # -- acquisition, release, inheritance ----------------------------------------
+
+    def request(
+        self,
+        object_name: str,
+        item: LocalOperation | LocalStep,
+        requester: ExecutionInfo,
+    ) -> LockRequestOutcome:
+        """Try to acquire a lock on ``item`` for the requester (rule 2).
+
+        The lock is granted — and recorded — when every execution owning a
+        conflicting lock is an ancestor of the requester (or the requester
+        itself); otherwise the set of blocking owners is returned and
+        nothing is recorded.
+        """
+        blockers = self.conflicting_holders(object_name, item, requester)
+        if blockers:
+            return LockRequestOutcome(False, frozenset(blockers))
+        entry = LockEntry(requester.execution_id, object_name, item)
+        self._locks_by_object[object_name].append(entry)
+        self._locks_by_owner[requester.execution_id].append(entry)
+        return LockRequestOutcome(True)
+
+    def release_all(self, owner_id: str) -> int:
+        """Release every lock owned by the execution; returns how many."""
+        entries = self._locks_by_owner.pop(owner_id, [])
+        for entry in entries:
+            try:
+                self._locks_by_object[entry.object_name].remove(entry)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        return len(entries)
+
+    def release_all_of(self, owner_ids: Iterable[str]) -> int:
+        """Release every lock owned by any of the executions."""
+        return sum(self.release_all(owner_id) for owner_id in owner_ids)
+
+    def transfer(self, child_id: str, parent_id: str) -> int:
+        """Rule 5: the parent acquires every lock the child releases."""
+        entries = self._locks_by_owner.pop(child_id, [])
+        for entry in entries:
+            entry.owner_id = parent_id
+            self._locks_by_owner[parent_id].append(entry)
+        return len(entries)
+
+    def owners(self) -> set[str]:
+        """All executions currently owning at least one lock."""
+        return {owner for owner, entries in self._locks_by_owner.items() if entries}

@@ -1,0 +1,141 @@
+"""Nested two-phase locking (Moss' algorithm), Section 5.1 of the paper.
+
+Rules enforced for every method execution ``e``:
+
+1. ``e`` issues a step only while owning the corresponding lock.
+2. ``e`` may acquire a lock only if every owner of a conflicting lock is an
+   ancestor of ``e``.
+3. ``e`` acquires no lock after releasing one (automatic here: locks are
+   only released when the execution completes or aborts).
+4. ``e`` releases no lock before its children have released theirs
+   (automatic: children complete before their parent does).
+5. When ``e`` releases a lock it is immediately acquired by ``e``'s parent
+   (lock inheritance, implemented by :meth:`LockManager.transfer`).
+
+The scheduler supports both conflict granularities of Section 5.1's
+"Implementation Considerations": ``level="operation"`` locks operations
+(Moss' original, conservative scheme) while ``level="step"`` locks steps,
+using the provisional return value the engine supplies — Weihl's
+observation that return values can be exploited to enhance concurrency.
+
+Because N2PL blocks, it can deadlock; a waits-for graph at transaction
+granularity detects cycles and the requesting transaction is chosen as the
+victim.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..objectbase.base import ObjectBase
+from .base import (
+    OPERATION_LEVEL,
+    STEP_LEVEL,
+    ExecutionInfo,
+    OperationRequest,
+    Scheduler,
+    SchedulerResponse,
+)
+from .deadlock import WaitsForGraph
+from .locks import LockManager
+
+
+class NestedTwoPhaseLocking(Scheduler):
+    """Moss-style nested two-phase locking."""
+
+    name = "n2pl"
+
+    def __init__(self, level: str = OPERATION_LEVEL):
+        super().__init__()
+        if level not in (OPERATION_LEVEL, STEP_LEVEL):
+            raise ValueError(f"unknown conflict level {level!r}")
+        self.level = level
+        self.locks: LockManager | None = None
+        self.waits = WaitsForGraph()
+        self._top_level_of: dict[str, str] = {}
+        self.deadlocks_detected = 0
+        self.blocked_requests = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, object_base: ObjectBase) -> None:
+        super().attach(object_base)
+        self.locks = LockManager(
+            self.conflicts_for(self.level), step_level=self.level == STEP_LEVEL
+        )
+        self.waits = WaitsForGraph()
+        self._top_level_of = {}
+        self.deadlocks_detected = 0
+        self.blocked_requests = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def on_transaction_begin(self, info: ExecutionInfo) -> None:
+        self._top_level_of[info.execution_id] = info.top_level_id
+
+    def on_invoke(self, parent: ExecutionInfo, child: ExecutionInfo) -> None:
+        self._top_level_of[child.execution_id] = child.top_level_id
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+        assert self.locks is not None, "scheduler not attached"
+        item = request.lock_item(self.level)
+        outcome = self.locks.request(request.object_name, item, request.info)
+        if outcome.granted:
+            self.waits.clear_waits(request.info.top_level_id)
+            return SchedulerResponse.grant()
+
+        self.blocked_requests += 1
+        # Deadlock detection works at transaction granularity: waiting on an
+        # execution of one's *own* transaction is not recorded (a sibling can
+        # complete and pass its locks to the common parent, unblocking the
+        # waiter), whereas a cycle of transactions waiting on one another can
+        # never resolve itself and the requester is chosen as the victim.
+        blocking_transactions = {
+            self._top_level_of.get(owner_id, owner_id) for owner_id in outcome.blockers
+        }
+        cross_transaction_blockers = blocking_transactions - {request.info.top_level_id}
+        self.waits.set_waits(request.info.top_level_id, cross_transaction_blockers)
+        cycle = self.waits.find_cycle_from(request.info.top_level_id)
+        if cycle is not None:
+            self.deadlocks_detected += 1
+            self.waits.remove_transaction(request.info.top_level_id)
+            return SchedulerResponse.abort(f"deadlock among transactions {sorted(set(cycle))}")
+        return SchedulerResponse.block(
+            "conflicting locks held by non-ancestors", blockers=blocking_transactions
+        )
+
+    def on_execution_complete(self, info: ExecutionInfo) -> None:
+        assert self.locks is not None
+        if info.parent_id is not None:
+            # Rule 5: the parent immediately acquires the released locks.
+            self.locks.transfer(info.execution_id, info.parent_id)
+
+    def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        assert self.locks is not None
+        self.locks.release_all(info.execution_id)
+        self.waits.remove_transaction(info.top_level_id)
+
+    def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
+        assert self.locks is not None
+        self.locks.release_all_of(subtree)
+        self.locks.release_all(info.execution_id)
+        self.waits.remove_transaction(info.top_level_id)
+
+    # -- descriptive ------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "level": self.level,
+            "deadlocks_detected": self.deadlocks_detected,
+            "blocked_requests": self.blocked_requests,
+        }
+
+
+class StepLevelNestedTwoPhaseLocking(NestedTwoPhaseLocking):
+    """Convenience subclass preconfigured for step-level (return-value) locks."""
+
+    name = "n2pl-step"
+
+    def __init__(self) -> None:
+        super().__init__(level=STEP_LEVEL)

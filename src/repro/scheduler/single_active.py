@@ -1,0 +1,116 @@
+"""Coarse-grained baseline: every object is a single data item.
+
+Section 1 of the paper describes the simple way of reducing object-base
+concurrency control to database concurrency control: "view each object as
+a data item, treat a method invocation as a group of read or write
+operations on those data items, and require that only one method execution
+can be active at each object at any one time" — the approach taken by the
+GemStone system.  Any conventional scheduler can then be used; we use
+strict two-phase locking at object granularity, the most common choice.
+
+The scheduler grants a *shared* object lock to transactions that only ever
+invoke methods declared ``read_only`` on the object and an *exclusive* lock
+otherwise; locks belong to the top-level transaction and are held until it
+commits or aborts.  This deliberately "severely curtails parallelism"
+(the paper's words) and is the baseline experiment E1 compares the
+fine-grained schedulers against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from ..objectbase.base import ObjectBase
+from .base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
+from .deadlock import WaitsForGraph
+
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+
+class SingleActiveObjectScheduler(Scheduler):
+    """Object-granularity strict two-phase locking (GemStone-style baseline)."""
+
+    name = "single-active-object"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # object name -> {transaction id -> mode}
+        self._object_locks: dict[str, dict[str, str]] = defaultdict(dict)
+        self.waits = WaitsForGraph()
+        self.deadlocks_detected = 0
+        self.blocked_requests = 0
+
+    def attach(self, object_base: ObjectBase) -> None:
+        super().attach(object_base)
+        self._object_locks = defaultdict(dict)
+        self.waits = WaitsForGraph()
+        self.deadlocks_detected = 0
+        self.blocked_requests = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _required_mode(request: OperationRequest) -> str:
+        write_set = request.operation.write_set()
+        if write_set is not None and not write_set:
+            return SHARED
+        return EXCLUSIVE
+
+    def _incompatible_holders(self, object_name: str, transaction_id: str, mode: str) -> set[str]:
+        holders = self._object_locks[object_name]
+        blockers: set[str] = set()
+        for holder_id, held_mode in holders.items():
+            if holder_id == transaction_id:
+                continue
+            if mode == EXCLUSIVE or held_mode == EXCLUSIVE:
+                blockers.add(holder_id)
+        return blockers
+
+    # -- scheduling --------------------------------------------------------------
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+        transaction_id = request.info.top_level_id
+        mode = self._required_mode(request)
+        blockers = self._incompatible_holders(request.object_name, transaction_id, mode)
+        if not blockers:
+            holders = self._object_locks[request.object_name]
+            current = holders.get(transaction_id)
+            if current != EXCLUSIVE:
+                holders[transaction_id] = mode if current is None else (
+                    EXCLUSIVE if EXCLUSIVE in (current, mode) else SHARED
+                )
+            self.waits.clear_waits(transaction_id)
+            return SchedulerResponse.grant()
+
+        self.blocked_requests += 1
+        self.waits.set_waits(transaction_id, blockers)
+        cycle = self.waits.find_cycle_from(transaction_id)
+        if cycle is not None:
+            self.deadlocks_detected += 1
+            self.waits.remove_transaction(transaction_id)
+            return SchedulerResponse.abort(
+                f"deadlock among transactions {sorted(set(cycle))}"
+            )
+        return SchedulerResponse.block("object locked by another transaction", blockers=blockers)
+
+    def _release(self, transaction_id: str) -> None:
+        for holders in self._object_locks.values():
+            holders.pop(transaction_id, None)
+        self.waits.remove_transaction(transaction_id)
+
+    def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        self._release(info.top_level_id)
+
+    def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
+        self._release(info.top_level_id)
+
+    # -- descriptive ------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "deadlocks_detected": self.deadlocks_detected,
+            "blocked_requests": self.blocked_requests,
+        }

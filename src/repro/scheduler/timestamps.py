@@ -1,0 +1,86 @@
+"""Hierarchical timestamps for nested timestamp ordering (Reed's algorithm).
+
+Every method execution ``e`` receives a hierarchical timestamp ``hts(e)``:
+a tuple whose prefix is the parent's timestamp and whose last component is
+drawn from a counter owned by the parent, so that children invoked
+sequentially are ordered and children invoked in parallel receive unique
+but a-priori unordered components.  Timestamps are compared
+lexicographically.
+
+The *environment* object assigns the single-component timestamps of
+top-level transactions from a global counter, which also realises the
+paper's requirement that "if e terminates before e' begins then
+hts(e) < hts(e')" used to garbage-collect step information.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class HierarchicalTimestamp:
+    """An immutable, lexicographically ordered hierarchical timestamp."""
+
+    components: tuple[int, ...]
+
+    def child(self, component: int) -> "HierarchicalTimestamp":
+        """The timestamp of a child created with the given counter value."""
+        return HierarchicalTimestamp(self.components + (component,))
+
+    def is_prefix_of(self, other: "HierarchicalTimestamp") -> bool:
+        """True when this timestamp is an ancestor's timestamp of ``other``."""
+        return other.components[: len(self.components)] == self.components
+
+    def level(self) -> int:
+        return len(self.components)
+
+    def __lt__(self, other: "HierarchicalTimestamp") -> bool:
+        return self.components < other.components
+
+    def __repr__(self) -> str:
+        return "hts(" + ".".join(str(component) for component in self.components) + ")"
+
+
+class TimestampAuthority:
+    """Issues hierarchical timestamps to top-level transactions and children.
+
+    One per-execution counter realises the paper's ``Increment(ctr_e)``:
+    every message an execution sends obtains the next counter value, so the
+    timestamps of its children respect the order in which sequential
+    messages were issued (NTO rule 2) and are unique for parallel ones.
+    """
+
+    def __init__(self) -> None:
+        self._top_level_counter = itertools.count(1)
+        self._child_counters: dict[str, itertools.count] = {}
+        self._assigned: dict[str, HierarchicalTimestamp] = {}
+
+    def assign_top_level(self, execution_id: str) -> HierarchicalTimestamp:
+        """Assign (and record) a fresh single-component timestamp."""
+        timestamp = HierarchicalTimestamp((next(self._top_level_counter),))
+        self._assigned[execution_id] = timestamp
+        return timestamp
+
+    def assign_child(self, parent_id: str, child_id: str) -> HierarchicalTimestamp:
+        """Assign the child the next component of its parent's counter."""
+        parent_timestamp = self._assigned[parent_id]
+        counter = self._child_counters.setdefault(parent_id, itertools.count(1))
+        timestamp = parent_timestamp.child(next(counter))
+        self._assigned[child_id] = timestamp
+        return timestamp
+
+    def timestamp_of(self, execution_id: str) -> HierarchicalTimestamp:
+        return self._assigned[execution_id]
+
+    def knows(self, execution_id: str) -> bool:
+        return execution_id in self._assigned
+
+    def forget_subtree(self, execution_ids) -> None:
+        """Drop assignments of an aborted subtree (their ids are never reused)."""
+        for execution_id in execution_ids:
+            self._assigned.pop(execution_id, None)
+            self._child_counters.pop(execution_id, None)

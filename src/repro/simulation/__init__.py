@@ -1,0 +1,39 @@
+"""Simulation substrate: engine, transaction programmes, metrics, workloads."""
+
+from .engine import SimulationEngine
+from .events import Trace, TraceEvent
+from .metrics import RunMetrics, RunResult
+from .transactions import (
+    InvokeRequest,
+    LocalRequest,
+    MethodContext,
+    ParallelRequest,
+    TransactionSpec,
+)
+from .workloads import (
+    BankingWorkload,
+    BTreeWorkload,
+    HotspotWorkload,
+    MixedWorkload,
+    QueueWorkload,
+    RandomOperationsWorkload,
+)
+
+__all__ = [
+    "BankingWorkload",
+    "BTreeWorkload",
+    "HotspotWorkload",
+    "InvokeRequest",
+    "LocalRequest",
+    "MethodContext",
+    "MixedWorkload",
+    "ParallelRequest",
+    "QueueWorkload",
+    "RandomOperationsWorkload",
+    "RunMetrics",
+    "RunResult",
+    "SimulationEngine",
+    "Trace",
+    "TraceEvent",
+    "TransactionSpec",
+]

@@ -1,0 +1,476 @@
+"""The simulation engine: interleaved execution of nested transactions.
+
+The engine is the library's substitute for a real object-base management
+system.  It executes a set of top-level transactions (methods of the
+environment) written as generator programmes, interleaving them one local
+step at a time under the control of a pluggable scheduler, and records the
+run as a :class:`~repro.core.history.History` that the analysis layer can
+certify against the paper's theory.
+
+Execution model
+---------------
+
+* Every method execution in progress is a *frame* holding its generator,
+  its :class:`~repro.scheduler.base.ExecutionInfo` and its pending request.
+* Each *tick* the engine picks one runnable frame (uniformly at random
+  under a seeded RNG, or round-robin) and resolves exactly one request for
+  it: a local operation (consulting the scheduler and, when granted,
+  executing it against the object states), a message send (creating a child
+  frame), or the completion of the frame.
+* Blocking costs ticks: a frame whose operation is blocked stays runnable
+  and retries when next scheduled, so the run's total tick count (the
+  *makespan*) directly reflects the concurrency the scheduler admits.
+* An ``ABORT`` decision aborts the whole top-level transaction: its frames
+  are discarded, the object states are rebuilt by replaying every local
+  step that does not belong to an aborted attempt, and the transaction is
+  resubmitted (up to ``max_restarts`` times) as a fresh execution.
+
+The recorded history contains the steps of aborted attempts as well; the
+:class:`~repro.simulation.metrics.RunResult` exposes the committed
+projection, which is what serialisability certification operates on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import SimulationError
+from ..core.history import HistoryBuilder
+from ..core.operations import LocalOperation, LocalStep
+from ..core.state import ObjectState
+from ..objectbase.base import ObjectBase
+from ..scheduler.base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
+from .events import (
+    ABORTED,
+    BEGIN,
+    BLOCKED,
+    COMMITTED,
+    COMPLETED,
+    GAVE_UP,
+    GRANTED,
+    INVOKE,
+    RESTARTED,
+    Trace,
+    TraceEvent,
+)
+from .metrics import RunMetrics, RunResult
+from .transactions import (
+    InvokeRequest,
+    LocalRequest,
+    MethodContext,
+    ParallelRequest,
+    TransactionSpec,
+)
+
+_READY = "ready"
+_WAITING = "waiting"
+_DONE = "done"
+
+
+@dataclass
+class _Frame:
+    """One method execution in progress."""
+
+    info: ExecutionInfo
+    execution: Any  # MethodExecution handle returned by the HistoryBuilder
+    generator: Any = None
+    status: str = _READY
+    inbox: Any = None
+    pending_local: LocalRequest | None = None
+    blocked_attempts: int = 0
+    parent: "_Frame | None" = None
+    waiting_on: set[str] = field(default_factory=set)
+    parallel_results: dict[str, Any] = field(default_factory=dict)
+    parallel_order: list[str] = field(default_factory=list)
+    spec: TransactionSpec | None = None
+    attempt: int = 1
+
+    @property
+    def execution_id(self) -> str:
+        return self.info.execution_id
+
+
+@dataclass
+class _StepLogEntry:
+    """A local step executed by the engine, kept for state reconstruction."""
+
+    execution_id: str
+    top_level_id: str
+    object_name: str
+    operation: LocalOperation
+
+
+class SimulationEngine:
+    """Interleaves transaction programmes under a concurrency-control scheduler."""
+
+    def __init__(
+        self,
+        object_base: ObjectBase,
+        scheduler: Scheduler,
+        *,
+        seed: int = 0,
+        scheduling: str = "random",
+        max_restarts: int = 25,
+        starvation_limit: int = 2000,
+        max_ticks: int = 2_000_000,
+        record_trace: bool = False,
+        conflict_level_for_history: str = "step",
+    ):
+        if scheduling not in ("random", "round-robin"):
+            raise SimulationError(f"unknown scheduling policy {scheduling!r}")
+        self.object_base = object_base
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+        self.scheduling = scheduling
+        self.max_restarts = max_restarts
+        self.starvation_limit = starvation_limit
+        self.max_ticks = max_ticks
+        self.record_trace = record_trace
+        self._trace = Trace() if record_trace else None
+
+        self._builder = HistoryBuilder(
+            initial_states=object_base.initial_states(),
+            conflicts=object_base.conflicts(conflict_level_for_history),
+        )
+        self._states: dict[str, ObjectState] = dict(object_base.initial_states())
+        self._frames: dict[str, _Frame] = {}
+        self._executions_by_transaction: dict[str, set[str]] = {}
+        self._round_robin_cursor = 0
+        self._step_log: list[_StepLogEntry] = []
+        self._aborted_executions: set[str] = set()
+        self._committed: list[str] = []
+        self._pending_specs: list[TransactionSpec] = []
+        self.metrics = RunMetrics()
+        self._tick = 0
+        self._finished = False
+
+        self.scheduler.attach(object_base)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec | str, *arguments: Any) -> None:
+        """Queue a top-level transaction for execution.
+
+        Accepts either a :class:`TransactionSpec` or a method name plus
+        arguments for convenience.
+        """
+        if isinstance(spec, str):
+            spec = TransactionSpec(spec, tuple(arguments))
+        elif arguments:
+            raise SimulationError("pass arguments inside the TransactionSpec")
+        self.object_base.environment.method(spec.method_name)  # validate early
+        self._pending_specs.append(spec)
+        self.metrics.submitted += 1
+
+    def submit_all(self, specs) -> None:
+        for spec in specs:
+            self.submit(spec)
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute every submitted transaction to commit (or give-up)."""
+        if self._finished:
+            raise SimulationError("engine instances are single-use; create a new one")
+        for spec in self._pending_specs:
+            self._start_transaction(spec, attempt=1)
+        self._pending_specs = []
+
+        while self._frames and self._tick < self.max_ticks:
+            self._tick += 1
+            self.metrics.total_ticks = self._tick
+            frame_id = self._choose_frame()
+            if frame_id is None:
+                break
+            self._advance(self._frames[frame_id])
+
+        self._finished = True
+        history = self._builder.build()
+        return RunResult(
+            history=history,
+            metrics=self.metrics,
+            scheduler_description=self.scheduler.describe(),
+            aborted_execution_ids=frozenset(self._aborted_executions),
+            committed_transaction_ids=tuple(self._committed),
+            trace=self._trace,
+        )
+
+    def _choose_frame(self) -> str | None:
+        candidates = [
+            frame_id for frame_id, frame in self._frames.items() if frame.status == _READY
+        ]
+        if not candidates:
+            return None
+        if self.scheduling == "random":
+            return self.rng.choice(candidates)
+        self._round_robin_cursor = (self._round_robin_cursor + 1) % len(candidates)
+        return candidates[self._round_robin_cursor]
+
+    # ------------------------------------------------------------------
+    # frame management
+    # ------------------------------------------------------------------
+
+    def _record(self, kind: str, execution_id: str, object_name: str = "", detail: str = "") -> None:
+        if self._trace is not None:
+            self._trace.record(TraceEvent(self._tick, kind, execution_id, object_name, detail))
+
+    def _start_transaction(self, spec: TransactionSpec, attempt: int) -> None:
+        definition = self.object_base.environment.method(spec.method_name)
+        execution = self._builder.begin_top_level(spec.method_name)
+        info = ExecutionInfo(
+            execution_id=execution.execution_id,
+            object_name=self.object_base.environment.name,
+            method_name=spec.method_name,
+            parent_id=None,
+            ancestor_ids=(),
+            top_level_id=execution.execution_id,
+        )
+        frame = _Frame(info=info, execution=execution, spec=spec, attempt=attempt)
+        context = MethodContext(info.object_name, info.execution_id, spec.method_name)
+        frame.generator = definition.body(context, *spec.arguments)
+        self._frames[info.execution_id] = frame
+        self._executions_by_transaction[info.execution_id] = {info.execution_id}
+        self.scheduler.on_transaction_begin(info)
+        self._record(BEGIN if attempt == 1 else RESTARTED, info.execution_id, detail=spec.label)
+
+    def _spawn_child(self, parent: _Frame, invocation: InvokeRequest, after) -> _Frame:
+        definition = self.object_base.method(invocation.object_name, invocation.method_name)
+        child_execution = self._builder.invoke(
+            parent.execution,
+            invocation.object_name,
+            invocation.method_name,
+            invocation.arguments,
+            after=after,
+        )
+        info = ExecutionInfo(
+            execution_id=child_execution.execution_id,
+            object_name=invocation.object_name,
+            method_name=invocation.method_name,
+            parent_id=parent.execution_id,
+            ancestor_ids=(parent.execution_id,) + parent.info.ancestor_ids,
+            top_level_id=parent.info.top_level_id,
+        )
+        child = _Frame(info=info, execution=child_execution, parent=parent, attempt=parent.attempt)
+        context = MethodContext(info.object_name, info.execution_id, info.method_name)
+        child.generator = definition.body(context, *invocation.arguments)
+        self._frames[info.execution_id] = child
+        self._executions_by_transaction.setdefault(info.top_level_id, set()).add(info.execution_id)
+        self.scheduler.on_invoke(parent.info, info)
+        self.metrics.invocations += 1
+        self._record(INVOKE, info.execution_id, invocation.object_name, invocation.method_name)
+        return child
+
+    # ------------------------------------------------------------------
+    # advancing a frame by one request
+    # ------------------------------------------------------------------
+
+    def _advance(self, frame: _Frame) -> None:
+        if frame.status != _READY:
+            return
+        if frame.pending_local is not None:
+            self._resolve_local(frame, frame.pending_local)
+            return
+        try:
+            if not self._is_generator(frame.generator):
+                # A plain function body: its return value is immediate.
+                self._complete_frame(frame, frame.generator)
+                return
+            request = frame.generator.send(frame.inbox)
+        except StopIteration as stop:
+            self._complete_frame(frame, stop.value)
+            return
+        except Exception as error:  # a bug in a transaction programme
+            raise SimulationError(
+                f"transaction programme {frame.info.method_name!r} raised {error!r}"
+            ) from error
+        frame.inbox = None
+        self._handle_request(frame, request)
+
+    @staticmethod
+    def _is_generator(candidate: Any) -> bool:
+        return hasattr(candidate, "send") and hasattr(candidate, "throw")
+
+    def _handle_request(self, frame: _Frame, request: Any) -> None:
+        if isinstance(request, LocalRequest):
+            self._resolve_local(frame, request)
+        elif isinstance(request, InvokeRequest):
+            child = self._spawn_child(frame, request, after=None)
+            frame.status = _WAITING
+            frame.waiting_on = {child.execution_id}
+            frame.parallel_order = []
+        elif isinstance(request, ParallelRequest):
+            existing_steps = list(frame.execution.step_ids())
+            children = [
+                self._spawn_child(frame, invocation, after=existing_steps)
+                for invocation in request.invocations
+            ]
+            frame.status = _WAITING
+            frame.waiting_on = {child.execution_id for child in children}
+            frame.parallel_order = [child.execution_id for child in children]
+            frame.parallel_results = {}
+        else:
+            raise SimulationError(
+                f"method {frame.info.method_name!r} yielded an unknown request: {request!r}"
+            )
+
+    # -- local operations ---------------------------------------------------------
+
+    def _resolve_local(self, frame: _Frame, request: LocalRequest) -> None:
+        object_name = frame.info.object_name
+        operation = request.operation
+        state = self._states.get(object_name, ObjectState())
+        provisional_value, _ = operation.apply(state)
+        provisional_step = LocalStep(
+            frame.execution_id, object_name, operation, provisional_value
+        )
+        operation_request = OperationRequest(
+            info=frame.info,
+            object_name=object_name,
+            operation=operation,
+            provisional_step=provisional_step,
+        )
+        response = self.scheduler.on_operation(operation_request)
+        if response.blocked:
+            frame.pending_local = request
+            frame.blocked_attempts += 1
+            self.metrics.blocked_ticks += 1
+            self._record(BLOCKED, frame.execution_id, object_name, response.reason)
+            if frame.blocked_attempts >= self.starvation_limit:
+                self._abort_transaction(frame.info.top_level_id, "starvation: blocked too long")
+            return
+        if response.aborted:
+            frame.pending_local = None
+            self._abort_transaction(frame.info.top_level_id, response.reason)
+            return
+
+        # Granted: execute against the current state and record the step.
+        frame.pending_local = None
+        frame.blocked_attempts = 0
+        value, new_state = operation.apply(self._states.get(object_name, ObjectState()))
+        self._states[object_name] = new_state
+        self._builder.local(frame.execution, operation, return_value=value)
+        self._step_log.append(
+            _StepLogEntry(frame.execution_id, frame.info.top_level_id, object_name, operation)
+        )
+        self.metrics.local_steps += 1
+        self.scheduler.on_operation_executed(operation_request, value)
+        self._record(GRANTED, frame.execution_id, object_name, operation.name)
+        frame.inbox = value
+
+    # -- completion -----------------------------------------------------------------
+
+    def _complete_frame(self, frame: _Frame, return_value: Any) -> None:
+        frame.status = _DONE
+        if frame.parent is None:
+            self._complete_top_level(frame, return_value)
+            return
+        self._builder.finish(frame.execution, return_value)
+        self.scheduler.on_execution_complete(frame.info)
+        self._record(COMPLETED, frame.execution_id, frame.info.object_name)
+        self._deliver_to_parent(frame, return_value)
+        self._frames.pop(frame.execution_id, None)
+
+    def _deliver_to_parent(self, child: _Frame, return_value: Any) -> None:
+        parent = child.parent
+        if parent is None or parent.status != _WAITING:
+            return
+        parent.waiting_on.discard(child.execution_id)
+        if parent.parallel_order:
+            parent.parallel_results[child.execution_id] = return_value
+            if not parent.waiting_on:
+                parent.inbox = [
+                    parent.parallel_results.get(child_id)
+                    for child_id in parent.parallel_order
+                ]
+                parent.parallel_order = []
+                parent.parallel_results = {}
+                parent.status = _READY
+        else:
+            if not parent.waiting_on:
+                parent.inbox = return_value
+                parent.status = _READY
+
+    def _complete_top_level(self, frame: _Frame, return_value: Any) -> None:
+        response = self.scheduler.on_commit_request(frame.info)
+        if not response.granted:
+            self._abort_transaction(frame.info.top_level_id, response.reason or "commit vetoed")
+            return
+        self.scheduler.on_transaction_commit(frame.info)
+        self.metrics.committed += 1
+        self._committed.append(frame.execution_id)
+        self._record(COMMITTED, frame.execution_id, detail=str(return_value))
+        self._frames.pop(frame.execution_id, None)
+
+    # -- aborts ----------------------------------------------------------------------
+
+    @staticmethod
+    def _abort_reason_category(reason: str) -> str:
+        lowered = reason.lower()
+        for keyword in ("deadlock", "timestamp", "validation", "inter-object", "intra-object", "starvation"):
+            if keyword in lowered:
+                return keyword
+        return "other"
+
+    def _abort_transaction(self, top_level_id: str, reason: str) -> None:
+        top_frame = self._frames.get(top_level_id)
+        subtree_frames = [
+            frame
+            for frame in self._frames.values()
+            if frame.info.top_level_id == top_level_id
+        ]
+        # Every execution ever created for this attempt (including completed
+        # children whose frames are already gone) belongs to the aborted
+        # subtree; the paper's abort semantics require descendants to abort
+        # with their ancestor.
+        subtree_ids = set(self._executions_by_transaction.get(top_level_id, set()))
+        subtree_ids.update(frame.execution_id for frame in subtree_frames)
+        subtree_ids.add(top_level_id)
+
+        self._aborted_executions.update(subtree_ids)
+        self.metrics.aborted_attempts += 1
+        self.metrics.aborts_by_reason[self._abort_reason_category(reason)] += 1
+        wasted = sum(1 for entry in self._step_log if entry.execution_id in subtree_ids)
+        self.metrics.wasted_steps += wasted
+        self._record(ABORTED, top_level_id, detail=reason)
+
+        info = top_frame.info if top_frame is not None else ExecutionInfo(
+            execution_id=top_level_id,
+            object_name=self.object_base.environment.name,
+            method_name="",
+            parent_id=None,
+            ancestor_ids=(),
+            top_level_id=top_level_id,
+        )
+        self.scheduler.on_transaction_abort(info, tuple(sorted(subtree_ids)))
+
+        # Discard the attempt's frames and rebuild the object states from the
+        # surviving (non-aborted) steps.
+        for frame in subtree_frames:
+            frame.status = _DONE
+            self._frames.pop(frame.execution_id, None)
+        self._rebuild_states()
+
+        # Restart the transaction if its spec allows it.
+        spec = top_frame.spec if top_frame is not None else None
+        attempt = top_frame.attempt if top_frame is not None else 1
+        if spec is not None and attempt <= self.max_restarts:
+            self.metrics.restarts += 1
+            self._start_transaction(spec, attempt=attempt + 1)
+        else:
+            self.metrics.gave_up += 1
+            self._record(GAVE_UP, top_level_id, detail=reason)
+
+    def _rebuild_states(self) -> None:
+        states = dict(self.object_base.initial_states())
+        for entry in self._step_log:
+            if entry.execution_id in self._aborted_executions:
+                continue
+            state = states.get(entry.object_name, ObjectState())
+            _, states[entry.object_name] = entry.operation.apply(state)
+        self._states = states

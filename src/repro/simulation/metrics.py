@@ -1,0 +1,140 @@
+"""Run metrics and results.
+
+Every simulation run produces a :class:`RunResult`: the recorded history,
+the set of executions that belong to aborted transaction attempts, and a
+:class:`RunMetrics` summary with the quantities the experiments report —
+committed/aborted transaction counts, abort reasons, blocking, wasted work
+and the makespan in scheduler ticks (each tick is one scheduling attempt,
+so blocking and restarts lengthen the run exactly as lost concurrency
+would on a real system).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.history import History
+from .events import Trace
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate counters of one simulation run."""
+
+    total_ticks: int = 0
+    committed: int = 0
+    aborted_attempts: int = 0
+    gave_up: int = 0
+    restarts: int = 0
+    local_steps: int = 0
+    wasted_steps: int = 0
+    blocked_ticks: int = 0
+    invocations: int = 0
+    aborts_by_reason: Counter = field(default_factory=Counter)
+    submitted: int = 0
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per tick (the headline concurrency metric)."""
+        if self.total_ticks == 0:
+            return 0.0
+        return self.committed / self.total_ticks
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted attempts as a fraction of all finished attempts."""
+        finished = self.committed + self.aborted_attempts
+        if finished == 0:
+            return 0.0
+        return self.aborted_attempts / finished
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Fraction of scheduling ticks spent re-trying blocked operations."""
+        if self.total_ticks == 0:
+            return 0.0
+        return self.blocked_ticks / self.total_ticks
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of executed local steps that belonged to aborted attempts."""
+        if self.local_steps == 0:
+            return 0.0
+        return self.wasted_steps / self.local_steps
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total_ticks": self.total_ticks,
+            "committed": self.committed,
+            "aborted_attempts": self.aborted_attempts,
+            "gave_up": self.gave_up,
+            "restarts": self.restarts,
+            "local_steps": self.local_steps,
+            "wasted_steps": self.wasted_steps,
+            "blocked_ticks": self.blocked_ticks,
+            "invocations": self.invocations,
+            "submitted": self.submitted,
+            "throughput": self.throughput,
+            "abort_rate": self.abort_rate,
+            "blocked_fraction": self.blocked_fraction,
+            "wasted_fraction": self.wasted_fraction,
+            "aborts_by_reason": dict(self.aborts_by_reason),
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run produced."""
+
+    history: History
+    metrics: RunMetrics
+    scheduler_description: dict[str, Any]
+    aborted_execution_ids: frozenset[str]
+    committed_transaction_ids: tuple[str, ...]
+    trace: Trace | None = None
+
+    def committed_history(self) -> History:
+        """The committed projection: aborted transaction subtrees removed."""
+        surviving = [
+            execution
+            for execution_id, execution in self.history.executions.items()
+            if execution_id not in self.aborted_execution_ids
+        ]
+        intervals = self.history.intervals()
+        surviving_step_ids = {
+            step.step_id for execution in surviving for step in execution.steps()
+        }
+        kept_intervals = None
+        if intervals is not None:
+            kept_intervals = {
+                step_id: interval
+                for step_id, interval in intervals.items()
+                if step_id in surviving_step_ids
+            }
+        return History(
+            surviving,
+            self.history.initial_states,
+            conflicts=self.history.conflicts,
+            intervals=kept_intervals,
+            order_pairs=None if kept_intervals is not None else self.history.order_pairs(),
+        )
+
+    def final_states(self) -> dict[str, Any]:
+        """Final object states of the committed projection of the run.
+
+        The full recorded history also contains the steps of aborted
+        attempts, whose effects the engine undid, so replaying it would not
+        reflect the object base's actual end state; the committed projection
+        does.
+        """
+        return self.committed_history().final_states()
+
+    def summary(self) -> dict[str, Any]:
+        """A flat dictionary convenient for printing experiment tables."""
+        data = self.metrics.as_dict()
+        data["scheduler"] = self.scheduler_description.get("name", "?")
+        return data

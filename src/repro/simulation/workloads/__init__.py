@@ -1,0 +1,17 @@
+"""Workload generators: object bases plus transaction mixes for the engine."""
+
+from .banking import BankingWorkload
+from .btree_load import BTreeWorkload
+from .hotspot import HotspotWorkload
+from .mixed import MixedWorkload
+from .queues import QueueWorkload
+from .random_ops import RandomOperationsWorkload
+
+__all__ = [
+    "BankingWorkload",
+    "BTreeWorkload",
+    "HotspotWorkload",
+    "MixedWorkload",
+    "QueueWorkload",
+    "RandomOperationsWorkload",
+]

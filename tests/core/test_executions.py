@@ -1,0 +1,123 @@
+"""Unit tests for method executions (Definition 4)."""
+
+import pytest
+
+from repro.core import (
+    ENVIRONMENT_OBJECT,
+    AbortOperation,
+    LocalStep,
+    MessageStep,
+    MethodExecution,
+    ReadVariable,
+)
+from repro.core.errors import ModelError
+from repro.core.executions import execution_return_value
+
+
+def make_execution(object_name="A"):
+    return MethodExecution("e1", object_name, "method")
+
+
+class TestAddStep:
+    def test_sequential_steps_are_chained_in_program_order(self):
+        execution = make_execution()
+        first = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        second = execution.add_step(LocalStep("e1", "A", ReadVariable("y"), 0))
+        assert execution.program_precedes(first, second)
+        assert not execution.program_precedes(second, first)
+
+    def test_explicit_empty_after_models_parallel_steps(self):
+        execution = make_execution()
+        first = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        second = execution.add_step(LocalStep("e1", "A", ReadVariable("y"), 0), after=[])
+        assert not execution.program_precedes(first, second)
+        assert not execution.program_precedes(second, first)
+
+    def test_explicit_after_list(self):
+        execution = make_execution()
+        first = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        second = execution.add_step(LocalStep("e1", "A", ReadVariable("y"), 0), after=[])
+        third = execution.add_step(LocalStep("e1", "A", ReadVariable("z"), 0), after=[first, second])
+        assert execution.program_precedes(first, third)
+        assert execution.program_precedes(second, third)
+
+    def test_program_precedes_is_transitive(self):
+        execution = make_execution()
+        steps = [execution.add_step(LocalStep("e1", "A", ReadVariable(str(i)), 0)) for i in range(4)]
+        assert execution.program_precedes(steps[0], steps[3])
+
+    def test_step_of_other_execution_rejected(self):
+        execution = make_execution()
+        with pytest.raises(ModelError):
+            execution.add_step(LocalStep("other", "A", ReadVariable("x"), 0))
+
+    def test_local_step_of_other_object_rejected(self):
+        execution = make_execution("A")
+        with pytest.raises(ModelError):
+            execution.add_step(LocalStep("e1", "B", ReadVariable("x"), 0))
+
+    def test_message_steps_may_target_any_object(self):
+        execution = make_execution("A")
+        message = execution.add_step(MessageStep("e1", "B", "lookup"))
+        assert message in execution.message_steps()
+
+    def test_duplicate_step_rejected(self):
+        execution = make_execution()
+        step = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        with pytest.raises(ModelError):
+            execution.add_step(step)
+
+    def test_unknown_predecessor_rejected(self):
+        execution = make_execution()
+        with pytest.raises(ModelError):
+            execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0), after=[999])
+
+
+class TestOrderSteps:
+    def test_explicit_order_constraint(self):
+        execution = make_execution()
+        first = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0), after=[])
+        second = execution.add_step(LocalStep("e1", "A", ReadVariable("y"), 0), after=[])
+        execution.order_steps(second, first)
+        assert execution.program_precedes(second, first)
+
+    def test_order_steps_requires_membership(self):
+        execution = make_execution()
+        step = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        with pytest.raises(ModelError):
+            execution.order_steps(step, 424242)
+
+
+class TestInspection:
+    def test_top_level_detection(self):
+        top = MethodExecution("t", ENVIRONMENT_OBJECT, "txn")
+        child = MethodExecution("t.1", "A", "m", parent_id="t", invoking_step_id=1)
+        assert top.is_top_level
+        assert not child.is_top_level
+
+    def test_local_and_message_step_partition(self):
+        execution = make_execution()
+        local = execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 0))
+        message = execution.add_step(MessageStep("e1", "B", "m"))
+        assert execution.local_steps() == [local]
+        assert execution.message_steps() == [message]
+        assert len(execution) == 2
+        assert list(iter(execution)) == [local, message]
+
+    def test_is_aborted(self):
+        execution = make_execution()
+        assert not execution.is_aborted()
+        execution.add_step(LocalStep("e1", "A", AbortOperation(), "aborted"))
+        assert execution.is_aborted()
+
+    def test_execution_return_value_uses_last_local_step(self):
+        execution = make_execution()
+        assert execution_return_value(execution) is None
+        execution.add_step(LocalStep("e1", "A", ReadVariable("x"), 7))
+        assert execution_return_value(execution) == 7
+
+    def test_repr_mentions_parentage(self):
+        top = MethodExecution("t", ENVIRONMENT_OBJECT, "txn")
+        child = MethodExecution("t.1", "A", "m", parent_id="t", invoking_step_id=1)
+        assert "top-level" in repr(top)
+        assert "child of" in repr(child)

@@ -1,0 +1,84 @@
+"""Unit tests for ObjectState and the value helpers."""
+
+import pytest
+
+from repro.core import EMPTY_STATE, ObjectState
+from repro.core.values import freeze, values_equal
+
+
+class TestObjectState:
+    def test_empty_state_has_no_variables(self):
+        assert len(EMPTY_STATE) == 0
+        assert list(EMPTY_STATE) == []
+
+    def test_lookup_and_get(self):
+        state = ObjectState({"x": 1, "y": "a"})
+        assert state["x"] == 1
+        assert state.get("y") == "a"
+        assert state.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            state["missing"]
+
+    def test_set_returns_new_state_and_preserves_original(self):
+        original = ObjectState({"x": 1})
+        updated = original.set("x", 2)
+        assert original["x"] == 1
+        assert updated["x"] == 2
+        assert original != updated
+
+    def test_update_applies_several_bindings(self):
+        state = ObjectState({"x": 1}).update({"y": 2, "z": 3})
+        assert dict(state) == {"x": 1, "y": 2, "z": 3}
+
+    def test_remove_is_noop_for_missing_variable(self):
+        state = ObjectState({"x": 1})
+        assert state.remove("x") == ObjectState()
+        assert state.remove("missing") == state
+
+    def test_equality_is_structural(self):
+        assert ObjectState({"x": [1, 2]}) == ObjectState({"x": (1, 2)})
+        assert ObjectState({"x": 1}) == {"x": 1}
+        assert ObjectState({"x": 1}) != ObjectState({"x": 2})
+
+    def test_equality_with_non_mapping_is_not_implemented(self):
+        assert (ObjectState({"x": 1}) == 17) is False
+
+    def test_hashable_and_usable_as_dict_key(self):
+        table = {ObjectState({"x": 1}): "one"}
+        assert table[ObjectState({"x": 1})] == "one"
+
+    def test_contains_and_len(self):
+        state = ObjectState({"x": 1, "y": 2})
+        assert "x" in state and "z" not in state
+        assert len(state) == 2
+
+    def test_as_dict_returns_mutable_copy(self):
+        state = ObjectState({"x": 1})
+        copy = state.as_dict()
+        copy["x"] = 99
+        assert state["x"] == 1
+
+    def test_repr_lists_variables_sorted(self):
+        assert repr(ObjectState({"b": 2, "a": 1})) == "ObjectState(a=1, b=2)"
+
+
+class TestValueHelpers:
+    def test_freeze_scalars_unchanged(self):
+        assert freeze(5) == 5
+        assert freeze("abc") == "abc"
+        assert freeze(None) is None
+
+    def test_freeze_list_and_tuple_agree(self):
+        assert freeze([1, 2, 3]) == freeze((1, 2, 3))
+
+    def test_freeze_nested_structures(self):
+        frozen = freeze({"a": [1, {2, 3}], "b": {"c": "d"}})
+        assert isinstance(frozen, tuple)
+        hash(frozen)  # must be hashable
+
+    def test_freeze_sets(self):
+        assert freeze({3, 1, 2}) == frozenset({1, 2, 3})
+
+    def test_values_equal_across_container_types(self):
+        assert values_equal({"k": [1, 2]}, {"k": (1, 2)})
+        assert not values_equal([1, 2], [2, 1])

@@ -1,0 +1,138 @@
+"""Integration tests for the paper's qualitative claims (small versions).
+
+Each test is a miniature of one benchmark experiment (see EXPERIMENTS.md);
+the benchmarks sweep parameters, these tests pin the direction of the
+effect so regressions are caught by ``pytest`` alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import certify_run
+from repro.scheduler import make_scheduler
+from repro.simulation import (
+    BankingWorkload,
+    HotspotWorkload,
+    MixedWorkload,
+    QueueWorkload,
+    SimulationEngine,
+)
+
+
+def run(workload, scheduler_name, seed=0, **scheduler_kwargs):
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name, **scheduler_kwargs), seed=seed)
+    engine.submit_all(specs)
+    return engine.run()
+
+
+class TestClaimSingleActiveCurtailsParallelism:
+    """Section 1: one active method per object 'severely curtails parallelism'."""
+
+    def test_makespan_ordering_on_mixed_workload(self):
+        workload_seed = 21
+        coarse = run(MixedWorkload(transactions=10, seed=workload_seed), "single-active")
+        fine = run(MixedWorkload(transactions=10, seed=workload_seed), "n2pl")
+        assert coarse.metrics.total_ticks > fine.metrics.total_ticks
+        assert coarse.metrics.blocked_fraction > fine.metrics.blocked_fraction
+
+
+class TestClaimStepLevelLockingHelpsQueues:
+    """Section 5.1: locking steps instead of operations admits more concurrency."""
+
+    def test_step_level_blocks_less(self):
+        workload_args = dict(queues=2, producers=8, consumers=8, initial_depth=10, seed=22)
+        operation_level = run(QueueWorkload(**workload_args), "n2pl")
+        step_level = run(QueueWorkload(**workload_args), "n2pl-step")
+        assert step_level.metrics.blocked_ticks < operation_level.metrics.blocked_ticks
+        assert step_level.metrics.total_ticks < operation_level.metrics.total_ticks
+
+    def test_step_level_timestamping_aborts_less(self):
+        workload_args = dict(queues=2, producers=8, consumers=8, initial_depth=10, seed=23)
+        operation_level = run(QueueWorkload(**workload_args), "nto")
+        step_level = run(QueueWorkload(**workload_args), "nto-step")
+        assert step_level.metrics.aborted_attempts <= operation_level.metrics.aborted_attempts
+
+
+class TestClaimBlockingVersusRestarting:
+    """Section 5: N2PL blocks (and deadlocks); NTO aborts instead."""
+
+    def test_contention_increases_deadlocks_for_n2pl_only(self):
+        low = run(HotspotWorkload(transactions=10, hot_probability=0.2, seed=24), "n2pl")
+        high = run(HotspotWorkload(transactions=10, hot_probability=0.9, seed=24), "n2pl")
+        assert high.metrics.aborts_by_reason.get("deadlock", 0) >= low.metrics.aborts_by_reason.get(
+            "deadlock", 0
+        )
+        nto_run = run(HotspotWorkload(transactions=10, hot_probability=0.9, seed=24), "nto")
+        assert nto_run.metrics.aborts_by_reason.get("deadlock", 0) == 0
+        assert nto_run.metrics.aborts_by_reason.get("timestamp", 0) > 0
+
+
+class TestClaimIntraObjectAloneIsInsufficient:
+    """Section 2: per-object serialisability does not imply global serialisability."""
+
+    def make_workload(self, seed):
+        return HotspotWorkload(
+            transactions=8,
+            hot_objects=3,
+            cold_objects=4,
+            hot_probability=0.9,
+            operations_per_transaction=3,
+            use_service_layer=False,
+            seed=seed,
+        )
+
+    def test_local_timestamp_orders_can_be_globally_incompatible(self):
+        violations = 0
+        for seed in range(3):
+            result = run(self.make_workload(seed), "modular-intra-only", seed=seed, default_strategy="timestamp")
+            if not certify_run(result, check_legality=False).serialisable:
+                violations += 1
+        assert violations > 0
+
+    def test_inter_object_coordination_restores_serialisability(self):
+        for seed in range(3):
+            result = run(self.make_workload(seed), "modular", seed=seed, default_strategy="timestamp")
+            assert certify_run(result, check_legality=False).serialisable
+
+    def test_uniform_local_2pl_is_a_local_atomicity_property(self):
+        # Weihl's dynamic atomicity: if every object uses strict 2PL locally,
+        # no inter-object coordination is needed (the paper's discussion of
+        # local atomicity as a special case of its scheme).
+        for seed in range(3):
+            result = run(self.make_workload(seed), "modular-intra-only", seed=seed, default_strategy="locking")
+            assert certify_run(result, check_legality=False).serialisable
+
+
+class TestClaimOptimisticTradeoff:
+    """Section 6: certifier-style schedulers trade blocking for abort risk."""
+
+    def test_certifier_never_blocks_but_aborts_under_contention(self):
+        workload = HotspotWorkload(transactions=10, hot_probability=0.8, seed=26)
+        optimistic = run(workload, "certifier")
+        assert optimistic.metrics.blocked_ticks == 0
+        assert optimistic.metrics.aborts_by_reason.get("validation", 0) > 0
+        assert certify_run(optimistic, check_legality=False).serialisable
+
+
+class TestClaimNestingAndParallelismAreSupported:
+    """Section 1(a)/(c): nested transactions with internal parallelism."""
+
+    def test_payroll_transactions_use_parallel_children(self):
+        workload = BankingWorkload(
+            accounts=8, transactions=10, transfer_fraction=0.0, payroll_fraction=1.0, seed=27
+        )
+        result = run(workload, "n2pl")
+        assert result.metrics.committed == 10
+        history = result.history
+        # Find a payroll transaction's teller call and check its deposits are
+        # unordered in the programme order (parallel messages).
+        found_parallel = False
+        for execution in history.executions.values():
+            if execution.method_name == "deposit_many":
+                messages = execution.message_steps()
+                if len(messages) >= 2 and not execution.program_precedes(messages[0], messages[1]):
+                    found_parallel = True
+        assert found_parallel
+        assert certify_run(result, check_legality=False).correct

@@ -1,0 +1,117 @@
+"""Integration tests: every scheduler keeps every workload serialisable.
+
+These tests realise Theorems 3 and 4 (and the correctness arguments for the
+other schedulers) operationally: for a grid of workloads and schedulers the
+committed projection of every simulated run must be legal, its
+serialisation graph acyclic, and Theorem 5's conditions satisfied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import certify_run
+from repro.scheduler import make_scheduler
+from repro.simulation import (
+    BankingWorkload,
+    BTreeWorkload,
+    HotspotWorkload,
+    MixedWorkload,
+    QueueWorkload,
+    RandomOperationsWorkload,
+    SimulationEngine,
+)
+
+CORRECT_SCHEDULERS = [
+    ("n2pl", {}),
+    ("n2pl-step", {}),
+    ("nto", {}),
+    ("nto-step", {}),
+    ("single-active", {}),
+    ("certifier", {}),
+    ("modular", {}),
+    ("modular", {"default_strategy": "timestamp"}),
+]
+
+
+def small_workloads():
+    return [
+        BankingWorkload(accounts=6, transactions=8, payroll_fraction=0.2, seed=1),
+        QueueWorkload(queues=2, producers=4, consumers=4, initial_depth=6, seed=2),
+        HotspotWorkload(transactions=6, hot_objects=2, cold_objects=8, hot_probability=0.6, seed=3),
+        BTreeWorkload(transactions=6, operations_per_transaction=3, seed=4),
+        MixedWorkload(customers=4, transactions=8, seed=5),
+        RandomOperationsWorkload(
+            registers=8, transactions=6, nesting_depth=3, parallel_fanout=2, seed=6
+        ),
+    ]
+
+
+def run(workload, scheduler_name, kwargs, seed=0):
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name, **kwargs), seed=seed)
+    engine.submit_all(specs)
+    return engine.run()
+
+
+@pytest.mark.parametrize("scheduler_name,scheduler_kwargs", CORRECT_SCHEDULERS)
+def test_committed_projection_is_serialisable(scheduler_name, scheduler_kwargs):
+    for workload in small_workloads():
+        result = run(workload, scheduler_name, scheduler_kwargs)
+        report = certify_run(result, check_legality=False)
+        assert report.serialisable, (
+            f"{scheduler_name} produced a non-serialisable committed projection on "
+            f"{type(workload).__name__}: {report.violations}"
+        )
+        assert report.theorem5_holds
+
+
+@pytest.mark.parametrize("scheduler_name,scheduler_kwargs", CORRECT_SCHEDULERS)
+def test_committed_projection_is_legal(scheduler_name, scheduler_kwargs):
+    # Legality checking is quadratic, so use the two smallest workloads only.
+    workloads = [
+        BankingWorkload(accounts=4, transactions=6, seed=7),
+        QueueWorkload(queues=1, producers=3, consumers=3, initial_depth=4, seed=8),
+    ]
+    for workload in workloads:
+        result = run(workload, scheduler_name, scheduler_kwargs)
+        report = certify_run(result, check_legality=True)
+        assert report.legal, f"{scheduler_name}: {report.violations}"
+        assert report.correct
+
+
+def test_all_submitted_transactions_eventually_finish():
+    for scheduler_name, kwargs in CORRECT_SCHEDULERS:
+        workload = BankingWorkload(accounts=6, transactions=12, seed=9)
+        result = run(workload, scheduler_name, kwargs)
+        finished = result.metrics.committed + result.metrics.gave_up
+        assert finished == result.metrics.submitted == 12
+
+
+def test_banking_conservation_across_schedulers():
+    for scheduler_name, kwargs in CORRECT_SCHEDULERS:
+        workload = BankingWorkload(
+            accounts=6, transactions=12, transfer_fraction=0.8, payroll_fraction=0.0, seed=10
+        )
+        result = run(workload, scheduler_name, kwargs)
+        finals = result.final_states()
+        total = sum(finals[name]["balance"] for name in finals if name.startswith("account-"))
+        assert total == pytest.approx(workload.expected_total_balance()), scheduler_name
+
+
+def test_nto_never_blocks_and_n2pl_never_timestamp_aborts():
+    workload = HotspotWorkload(transactions=10, hot_probability=0.7, seed=11)
+    nto_result = run(workload, "nto", {})
+    assert nto_result.metrics.blocked_ticks == 0
+    assert nto_result.metrics.aborts_by_reason.get("deadlock", 0) == 0
+
+    n2pl_result = run(workload, "n2pl", {})
+    assert n2pl_result.metrics.aborts_by_reason.get("timestamp", 0) == 0
+
+
+def test_single_active_blocks_more_than_fine_grained_on_shared_objects():
+    workload_args = dict(transactions=12, operations_per_transaction=4, seed=12)
+    coarse = run(BTreeWorkload(**workload_args), "single-active", {})
+    fine = run(BTreeWorkload(**workload_args), "n2pl", {})
+    assert coarse.metrics.blocked_ticks > fine.metrics.blocked_ticks
+    assert coarse.metrics.total_ticks > fine.metrics.total_ticks

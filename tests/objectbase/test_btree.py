@@ -1,0 +1,159 @@
+"""Unit tests for the B-tree index ADT and its pure-functional algorithms."""
+
+import random
+
+import pytest
+
+from repro.core import LocalStep
+from repro.core.errors import InvalidOperationError
+from repro.objectbase.adts.btree import (
+    BTreeConflicts,
+    BTreeStepConflicts,
+    DeleteKey,
+    IndexSize,
+    InsertKey,
+    RangeScan,
+    SearchKey,
+    btree_definition,
+    empty_tree,
+    tree_delete,
+    tree_height,
+    tree_insert,
+    tree_items,
+    tree_range,
+    tree_search,
+    tree_size,
+    validate_tree,
+)
+
+
+def build_tree(keys, degree=2):
+    root = empty_tree()
+    for key in keys:
+        root = tree_insert(root, key, f"value-{key}", degree)
+    return root
+
+
+class TestTreeAlgorithms:
+    def test_empty_tree_search(self):
+        assert tree_search(empty_tree(), 1) is None
+        assert tree_size(empty_tree()) == 0
+        assert tree_height(empty_tree()) == 1
+
+    def test_sequential_inserts_keep_invariants(self):
+        root = build_tree(range(50), degree=2)
+        validate_tree(root, 2)
+        assert tree_size(root) == 50
+        assert [key for key, _ in tree_items(root)] == list(range(50))
+
+    def test_reverse_and_shuffled_inserts(self):
+        for keys in (list(range(40, 0, -1)), random.Random(7).sample(range(200), 60)):
+            root = build_tree(keys, degree=3)
+            validate_tree(root, 3)
+            assert sorted(keys) == [key for key, _ in tree_items(root)]
+
+    def test_overwrite_keeps_single_binding(self):
+        root = build_tree([5, 5, 5])
+        assert tree_size(root) == 1
+        assert tree_search(root, 5) == "value-5"
+
+    def test_height_grows_logarithmically(self):
+        root = build_tree(range(200), degree=3)
+        assert tree_height(root) <= 5
+
+    def test_delete_existing_and_missing(self):
+        root = build_tree(range(20))
+        root, removed = tree_delete(root, 7, 2)
+        assert removed is True
+        assert tree_search(root, 7) is None
+        root, removed = tree_delete(root, 7, 2)
+        assert removed is False
+        validate_tree(root, 2)
+
+    def test_delete_everything(self):
+        keys = list(range(30))
+        root = build_tree(keys, degree=2)
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            root, removed = tree_delete(root, key, 2)
+            assert removed
+            validate_tree(root, 2)
+        assert tree_size(root) == 0
+
+    def test_range_scan(self):
+        root = build_tree(range(0, 100, 3), degree=3)
+        result = tree_range(root, 10, 40)
+        assert result == [(key, f"value-{key}") for key in range(12, 41, 3)]
+
+    def test_validate_rejects_corrupt_tree(self):
+        bad = ("leaf", (3, 1, 2), ("a", "b", "c"))
+        with pytest.raises(InvalidOperationError):
+            validate_tree(bad, 2)
+
+
+class TestBTreeOperations:
+    def test_insert_search_delete_operations(self):
+        definition = btree_definition("idx", degree=2, initial_items={1: "one"})
+        state = definition.initial_state
+        previous, state = InsertKey(2, "two").apply(state)
+        assert previous is None
+        value, _ = SearchKey(2).apply(state)
+        assert value == "two"
+        overwritten, state = InsertKey(2, "TWO").apply(state)
+        assert overwritten == "two"
+        removed, state = DeleteKey(1).apply(state)
+        assert removed is True
+        missing, state = DeleteKey(1).apply(state)
+        assert missing is False
+        size, _ = IndexSize().apply(state)
+        assert size == 1
+
+    def test_range_scan_operation(self):
+        definition = btree_definition("idx", degree=2, initial_items={i: i * 10 for i in range(10)})
+        rows, _ = RangeScan(3, 6).apply(definition.initial_state)
+        assert rows == ((3, 30), (4, 40), (5, 50), (6, 60))
+
+    def test_degree_must_be_at_least_two(self):
+        with pytest.raises(InvalidOperationError):
+            btree_definition("idx", degree=1)
+
+    def test_definition_methods_and_synchroniser_hint(self):
+        definition = btree_definition("idx")
+        assert set(definition.methods) == {"search", "insert", "delete", "range", "size"}
+        assert definition.intra_object_synchroniser == "btree-key-locking"
+
+
+class TestBTreeConflicts:
+    def test_key_granularity_for_observers(self):
+        spec = BTreeConflicts()
+        assert spec.operations_conflict(InsertKey(1, "a"), SearchKey(1))
+        assert not spec.operations_conflict(InsertKey(1, "a"), SearchKey(2))
+        assert not spec.operations_conflict(SearchKey(1), SearchKey(1))
+        assert spec.operations_conflict(DeleteKey(1), InsertKey(1, "a"))
+
+    def test_mutators_conflict_structurally_even_on_distinct_keys(self):
+        # The object's state is the physical node structure, so splits and
+        # merges make distinct-key mutations order-dependent.
+        spec = BTreeConflicts()
+        assert spec.operations_conflict(InsertKey(1, "a"), InsertKey(2, "b"))
+        assert spec.operations_conflict(DeleteKey(1), InsertKey(2, "b"))
+
+    def test_range_scan_conflicts_only_inside_interval(self):
+        spec = BTreeConflicts()
+        assert spec.operations_conflict(RangeScan(0, 10), InsertKey(5, "a"))
+        assert not spec.operations_conflict(RangeScan(0, 10), InsertKey(50, "a"))
+        assert not spec.operations_conflict(RangeScan(0, 10), SearchKey(5))
+        assert not spec.operations_conflict(RangeScan(0, 10), RangeScan(5, 15))
+
+    def test_size_conflicts_with_mutators_only(self):
+        spec = BTreeConflicts()
+        assert spec.operations_conflict(IndexSize(), InsertKey(1, "a"))
+        assert not spec.operations_conflict(IndexSize(), SearchKey(1))
+
+    def test_step_level_redundant_delete(self):
+        spec = BTreeStepConflicts()
+        redundant = LocalStep("e", "idx", DeleteKey(9), False)
+        search = LocalStep("e2", "idx", SearchKey(9), None)
+        assert not spec.steps_conflict(redundant, search)
+        effective = LocalStep("e", "idx", DeleteKey(9), True)
+        assert spec.steps_conflict(effective, search)

@@ -1,0 +1,238 @@
+"""Unit tests for the queue, key-value store, set, log and directory ADTs."""
+
+from repro.core import LocalStep, ObjectState
+from repro.objectbase.adts.append_log import (
+    Append,
+    AppendLogConflicts,
+    AppendLogStepConflicts,
+    LogLength,
+    ReadAt,
+    append_log_definition,
+)
+from repro.objectbase.adts.directory import (
+    CreateFile,
+    DirectoryConflicts,
+    ListDirectory,
+    MakeDirectory,
+    PathExists,
+    RemoveEntry,
+    directory_definition,
+)
+from repro.objectbase.adts.fifo_queue import (
+    Dequeue,
+    Enqueue,
+    FifoQueueConflicts,
+    FifoQueueStepConflicts,
+    QueueLength,
+    fifo_queue_definition,
+)
+from repro.objectbase.adts.kv_store import (
+    CountEntries,
+    Delete,
+    Insert,
+    KVStoreConflicts,
+    KVStoreStepConflicts,
+    Lookup,
+    kv_store_definition,
+)
+from repro.objectbase.adts.set_object import (
+    AddMember,
+    Contains,
+    RemoveMember,
+    SetConflicts,
+    SetSize,
+    SetStepConflicts,
+    set_definition,
+)
+
+
+def step(operation, value, object_name="obj"):
+    return LocalStep("e", object_name, operation, value)
+
+
+class TestFifoQueue:
+    def test_enqueue_dequeue_order(self):
+        state = fifo_queue_definition("q").initial_state
+        _, state = Enqueue("a").apply(state)
+        _, state = Enqueue("b").apply(state)
+        first, state = Dequeue().apply(state)
+        second, state = Dequeue().apply(state)
+        empty, _ = Dequeue().apply(state)
+        assert (first, second, empty) == ("a", "b", None)
+
+    def test_length_observer(self):
+        state = fifo_queue_definition("q", ("x", "y")).initial_state
+        length, _ = QueueLength().apply(state)
+        assert length == 2
+
+    def test_operation_level_is_conservative(self):
+        spec = FifoQueueConflicts()
+        assert spec.operations_conflict(Enqueue("a"), Dequeue())
+        assert spec.operations_conflict(Dequeue(), Dequeue())
+        assert not spec.operations_conflict(QueueLength(), QueueLength())
+
+    def test_step_level_enqueue_dequeue_rule(self):
+        spec = FifoQueueStepConflicts()
+        enqueue = step(Enqueue("item-1"), None)
+        dequeue_other = step(Dequeue(), "seed-item")
+        dequeue_same = step(Dequeue(), "item-1")
+        dequeue_empty = step(Dequeue(), None)
+        # Enqueue first: only the dequeue that removed the new item conflicts.
+        assert not spec.steps_conflict(enqueue, dequeue_other)
+        assert spec.steps_conflict(enqueue, dequeue_same)
+        # Dequeue first: only a dequeue that found the queue empty conflicts.
+        assert not spec.steps_conflict(dequeue_other, enqueue)
+        assert spec.steps_conflict(dequeue_empty, enqueue)
+
+    def test_step_level_dequeue_pairs(self):
+        spec = FifoQueueStepConflicts()
+        assert spec.steps_conflict(step(Dequeue(), "a"), step(Dequeue(), "b"))
+        assert not spec.steps_conflict(step(Dequeue(), None), step(Dequeue(), None))
+
+    def test_step_level_length_rule(self):
+        spec = FifoQueueStepConflicts()
+        assert not spec.steps_conflict(step(QueueLength(), 3), step(Dequeue(), None))
+        assert spec.steps_conflict(step(QueueLength(), 3), step(Dequeue(), "a"))
+        assert spec.steps_conflict(step(QueueLength(), 3), step(Enqueue("x"), None))
+
+    def test_definition_methods(self):
+        definition = fifo_queue_definition("q", ("a",))
+        assert set(definition.methods) == {"enqueue", "dequeue", "length"}
+        assert definition.initial_state["items"] == ("a",)
+
+
+class TestKVStore:
+    def test_insert_lookup_delete_roundtrip(self):
+        state = kv_store_definition("kv", {"a": 1}).initial_state
+        previous, state = Insert("b", 2).apply(state)
+        assert previous is None
+        value, _ = Lookup("b").apply(state)
+        assert value == 2
+        removed, state = Delete("a").apply(state)
+        assert removed == 1
+        missing, state = Delete("a").apply(state)
+        assert missing is None
+        count, _ = CountEntries().apply(state)
+        assert count == 1
+
+    def test_key_granularity_conflicts(self):
+        spec = KVStoreConflicts()
+        assert not spec.operations_conflict(Insert("a", 1), Insert("b", 2))
+        assert spec.operations_conflict(Insert("a", 1), Lookup("a"))
+        assert not spec.operations_conflict(Lookup("a"), Lookup("a"))
+        assert spec.operations_conflict(CountEntries(), Insert("a", 1))
+        assert not spec.operations_conflict(CountEntries(), Lookup("a"))
+
+    def test_step_level_redundant_delete(self):
+        spec = KVStoreStepConflicts()
+        absent_delete = step(Delete("a"), None)
+        absent_lookup = step(Lookup("a"), None)
+        assert not spec.steps_conflict(absent_delete, absent_lookup)
+        real_delete = step(Delete("a"), 1)
+        assert spec.steps_conflict(real_delete, absent_lookup)
+
+    def test_definition_methods(self):
+        assert set(kv_store_definition("kv").methods) == {"lookup", "insert", "delete", "size"}
+
+
+class TestSetObject:
+    def test_add_remove_contains(self):
+        state = set_definition("s", {"x"}).initial_state
+        added, state = AddMember("y").apply(state)
+        assert added is True
+        again, state = AddMember("y").apply(state)
+        assert again is False
+        present, _ = Contains("y").apply(state)
+        assert present is True
+        removed, state = RemoveMember("x").apply(state)
+        assert removed is True
+        size, _ = SetSize().apply(state)
+        assert size == 1
+
+    def test_element_granularity_conflicts(self):
+        spec = SetConflicts()
+        assert not spec.operations_conflict(AddMember("a"), AddMember("b"))
+        assert spec.operations_conflict(AddMember("a"), Contains("a"))
+        assert not spec.operations_conflict(Contains("a"), Contains("a"))
+        assert spec.operations_conflict(SetSize(), AddMember("a"))
+
+    def test_step_level_redundant_mutations(self):
+        spec = SetStepConflicts()
+        redundant_add = step(AddMember("a"), False)
+        contains = step(Contains("a"), True)
+        assert not spec.steps_conflict(redundant_add, contains)
+        effective_add = step(AddMember("a"), True)
+        assert spec.steps_conflict(effective_add, contains)
+        assert not spec.steps_conflict(redundant_add, step(AddMember("a"), False))
+
+
+class TestAppendLog:
+    def test_append_assigns_indexes(self):
+        state = append_log_definition("log").initial_state
+        index0, state = Append("first").apply(state)
+        index1, state = Append("second").apply(state)
+        assert (index0, index1) == (0, 1)
+        entry, _ = ReadAt(1).apply(state)
+        assert entry == "second"
+        missing, _ = ReadAt(7).apply(state)
+        assert missing is None
+        length, _ = LogLength().apply(state)
+        assert length == 2
+
+    def test_operation_level_conflicts(self):
+        spec = AppendLogConflicts()
+        assert spec.operations_conflict(Append("a"), Append("b"))
+        assert not spec.operations_conflict(ReadAt(0), ReadAt(1))
+        assert not spec.operations_conflict(ReadAt(0), LogLength())
+        assert spec.operations_conflict(Append("a"), LogLength())
+
+    def test_step_level_read_vs_append(self):
+        spec = AppendLogStepConflicts()
+        append = step(Append("x"), 5)
+        earlier_read = step(ReadAt(2), "value")
+        same_position_read = step(ReadAt(5), "x")
+        unwritten_read = step(ReadAt(9), None)
+        assert not spec.steps_conflict(append, earlier_read)
+        assert spec.steps_conflict(append, same_position_read)
+        assert spec.steps_conflict(append, unwritten_read)
+
+
+class TestDirectory:
+    def test_mkdir_create_list_remove(self):
+        state = directory_definition("fs").initial_state
+        created, state = MakeDirectory("home").apply(state)
+        assert created is True
+        nested, state = MakeDirectory("home/user").apply(state)
+        assert nested is True
+        file_created, state = CreateFile("home/user/notes.txt").apply(state)
+        assert file_created is True
+        orphan, state = CreateFile("missing/child").apply(state)
+        assert orphan is False
+        listing, _ = ListDirectory("home/user").apply(state)
+        assert listing == ("notes.txt",)
+        exists, _ = PathExists("home/user/notes.txt").apply(state)
+        assert exists is True
+        removed, state = RemoveEntry("home").apply(state)
+        assert removed is True
+        gone, _ = PathExists("home/user").apply(state)
+        assert gone is False
+
+    def test_path_granularity_conflicts(self):
+        spec = DirectoryConflicts()
+        assert not spec.operations_conflict(CreateFile("a/x"), CreateFile("b/y"))
+        assert spec.operations_conflict(CreateFile("a/x"), RemoveEntry("a"))
+        assert spec.operations_conflict(ListDirectory("a"), CreateFile("a/x"))
+        assert not spec.operations_conflict(ListDirectory("a"), CreateFile("b/y"))
+        assert not spec.operations_conflict(PathExists("a/x"), PathExists("a/x"))
+        # Creating two entries in the same parent directory conflicts (their
+        # common parent listing changes either way).
+        assert spec.operations_conflict(CreateFile("a/x"), CreateFile("a/y"))
+
+    def test_definition_methods(self):
+        assert set(directory_definition("fs").methods) == {
+            "mkdir",
+            "create",
+            "remove",
+            "list",
+            "exists",
+        }

@@ -1,0 +1,172 @@
+"""Soundness of declared conflict specifications.
+
+A conflict specification is allowed to be conservative (declare a conflict
+where the operations actually commute) but must never be unsound: whenever
+it declares that two operations or steps do *not* conflict, transposing
+them on any reachable state must leave return values and the final state
+unchanged (Definition 3).  These tests check that property for every ADT by
+exhaustively comparing the declared relation against the semantic one on a
+collection of representative states.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    ObjectState,
+    operations_commute_on_states,
+    steps_commute_on_states,
+)
+from repro.core.operations import LocalStep
+from repro.objectbase.adts import (
+    bank_account_definition,
+    btree_definition,
+    counter_definition,
+    fifo_queue_definition,
+    kv_store_definition,
+    register_definition,
+    set_definition,
+)
+from repro.objectbase.adts.bank_account import Deposit, GetBalance, Withdraw
+from repro.objectbase.adts.btree import DeleteKey, IndexSize, InsertKey, RangeScan, SearchKey
+from repro.objectbase.adts.counter import AddToCounter, GetCount
+from repro.objectbase.adts.fifo_queue import Dequeue, Enqueue, QueueLength
+from repro.objectbase.adts.kv_store import CountEntries, Delete, Insert, Lookup
+from repro.objectbase.adts.register import ReadRegister, WriteRegister
+from repro.objectbase.adts.set_object import AddMember, Contains, RemoveMember, SetSize
+
+
+def assert_operation_spec_sound(spec, operations, states):
+    """Declared non-conflicts must commute semantically on every sample state."""
+    for first, second in itertools.product(operations, repeat=2):
+        if not spec.operations_conflict(first, second):
+            assert operations_commute_on_states(first, second, states), (
+                f"{first!r} and {second!r} are declared non-conflicting but do not commute"
+            )
+
+
+def assert_step_spec_sound(spec, operations, states, object_name):
+    """Same soundness check for the step-level (return-value aware) relation."""
+    for state in states:
+        for first_op, second_op in itertools.product(operations, repeat=2):
+            first_value, middle = first_op.apply(state)
+            second_value, _ = second_op.apply(middle)
+            first = LocalStep("e1", object_name, first_op, first_value)
+            second = LocalStep("e2", object_name, second_op, second_value)
+            if not spec.steps_conflict(first, second):
+                assert steps_commute_on_states(first, second, [state]), (
+                    f"steps {first!r}, {second!r} declared non-conflicting but do not "
+                    f"commute on {dict(state)!r}"
+                )
+
+
+class TestRegisterSoundness:
+    states = [ObjectState({"value": v}) for v in (0, 1, "text")]
+    operations = [ReadRegister(), WriteRegister(1), WriteRegister(2)]
+
+    def test_operation_level(self):
+        definition = register_definition("r")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+    def test_step_level(self):
+        definition = register_definition("r")
+        assert_step_spec_sound(definition.conflicts("step"), self.operations, self.states, "r")
+
+
+class TestCounterSoundness:
+    states = [ObjectState({"count": value}) for value in (0, 5, -3)]
+    operations = [AddToCounter(1), AddToCounter(-2), GetCount()]
+
+    def test_operation_level(self):
+        definition = counter_definition("c")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+
+class TestBankAccountSoundness:
+    states = [ObjectState({"balance": value}) for value in (0, 10, 100)]
+    operations = [Deposit(10), Deposit(5), Withdraw(8), Withdraw(150), GetBalance()]
+
+    def test_operation_level(self):
+        definition = bank_account_definition("a")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+    def test_step_level(self):
+        definition = bank_account_definition("a")
+        assert_step_spec_sound(definition.conflicts("step"), self.operations, self.states, "a")
+
+
+class TestQueueSoundness:
+    states = [
+        ObjectState({"items": ()}),
+        ObjectState({"items": ("a",)}),
+        ObjectState({"items": ("a", "b", "c")}),
+    ]
+    operations = [Enqueue("x"), Enqueue("y"), Dequeue(), QueueLength()]
+
+    def test_operation_level(self):
+        definition = fifo_queue_definition("q")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+    def test_step_level(self):
+        definition = fifo_queue_definition("q")
+        assert_step_spec_sound(definition.conflicts("step"), self.operations, self.states, "q")
+
+
+class TestKVStoreSoundness:
+    states = [
+        ObjectState({"entries": {}}),
+        ObjectState({"entries": {"a": 1}}),
+        ObjectState({"entries": {"a": 1, "b": 2}}),
+    ]
+    operations = [Lookup("a"), Lookup("b"), Insert("a", 9), Insert("c", 3), Delete("a"), Delete("z"), CountEntries()]
+
+    def test_operation_level(self):
+        definition = kv_store_definition("kv")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+    def test_step_level(self):
+        definition = kv_store_definition("kv")
+        assert_step_spec_sound(definition.conflicts("step"), self.operations, self.states, "kv")
+
+
+class TestSetSoundness:
+    states = [
+        ObjectState({"members": frozenset()}),
+        ObjectState({"members": frozenset({"a"})}),
+        ObjectState({"members": frozenset({"a", "b"})}),
+    ]
+    operations = [AddMember("a"), AddMember("c"), RemoveMember("a"), RemoveMember("z"), Contains("a"), SetSize()]
+
+    def test_operation_level(self):
+        definition = set_definition("s")
+        assert_operation_spec_sound(definition.conflicts("operation"), self.operations, self.states)
+
+    def test_step_level(self):
+        definition = set_definition("s")
+        assert_step_spec_sound(definition.conflicts("step"), self.operations, self.states, "s")
+
+
+class TestBTreeSoundness:
+    @pytest.fixture
+    def definition(self):
+        return btree_definition("idx", degree=2, initial_items={1: "one", 5: "five", 9: "nine"})
+
+    def test_operation_level(self, definition):
+        base = definition.initial_state
+        _, grown = InsertKey(3, "three").apply(base)
+        _, shrunk = DeleteKey(5).apply(base)
+        states = [base, grown, shrunk]
+        operations = [
+            SearchKey(1),
+            SearchKey(2),
+            InsertKey(1, "x"),
+            InsertKey(7, "y"),
+            DeleteKey(5),
+            DeleteKey(2),
+            RangeScan(0, 4),
+            IndexSize(),
+        ]
+        assert_operation_spec_sound(definition.conflicts("operation"), operations, states)

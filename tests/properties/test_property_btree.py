@@ -1,0 +1,119 @@
+"""Property-based tests for the B-tree index (hypothesis).
+
+The B-tree must behave exactly like a sorted mapping while maintaining its
+structural invariants (sorted keys, bounded node sizes, uniform leaf
+depth) after arbitrary interleavings of insertions and deletions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.objectbase.adts.btree import (
+    empty_tree,
+    tree_delete,
+    tree_height,
+    tree_insert,
+    tree_items,
+    tree_range,
+    tree_search,
+    tree_size,
+    validate_tree,
+)
+
+keys = st.integers(0, 120)
+values = st.integers(0, 10_000)
+degrees = st.integers(2, 5)
+
+
+class TestBulkProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(keys, values), max_size=60), degrees)
+    def test_insertions_match_dict_semantics(self, items, degree):
+        root = empty_tree()
+        model: dict[int, int] = {}
+        for key, value in items:
+            root = tree_insert(root, key, value, degree)
+            model[key] = value
+        validate_tree(root, degree)
+        assert dict(tree_items(root)) == model
+        assert tree_size(root) == len(model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.tuples(st.booleans(), keys, values), max_size=80),
+        degrees,
+    )
+    def test_mixed_insert_delete_matches_dict(self, actions, degree):
+        root = empty_tree()
+        model: dict[int, int] = {}
+        for is_insert, key, value in actions:
+            if is_insert:
+                root = tree_insert(root, key, value, degree)
+                model[key] = value
+            else:
+                root, removed = tree_delete(root, key, degree)
+                assert removed == (key in model)
+                model.pop(key, None)
+            validate_tree(root, degree)
+        assert dict(tree_items(root)) == model
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(keys, values), max_size=50), keys, keys, degrees)
+    def test_range_scan_matches_filtered_dict(self, items, low, high, degree):
+        low, high = min(low, high), max(low, high)
+        root = empty_tree()
+        model: dict[int, int] = {}
+        for key, value in items:
+            root = tree_insert(root, key, value, degree)
+            model[key] = value
+        expected = sorted((key, value) for key, value in model.items() if low <= key <= high)
+        assert tree_range(root, low, high) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(keys, max_size=80), degrees)
+    def test_height_is_logarithmic(self, key_set, degree):
+        root = empty_tree()
+        for key in key_set:
+            root = tree_insert(root, key, key, degree)
+        height = tree_height(root)
+        # Every node except the root holds at least degree-1 keys, so the
+        # height is O(log_degree(n)) — use a generous bound.
+        assert height <= 2 + (len(key_set) // max(1, degree - 1))
+        if len(key_set) > (2 * degree - 1):
+            assert height >= 2
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison of the B-tree against a plain dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.degree = 2
+        self.root = empty_tree()
+        self.model: dict[int, int] = {}
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.root = tree_insert(self.root, key, value, self.degree)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        self.root, removed = tree_delete(self.root, key, self.degree)
+        assert removed == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def search(self, key):
+        assert tree_search(self.root, key) == self.model.get(key)
+
+    @invariant()
+    def structure_is_valid(self):
+        validate_tree(self.root, self.degree)
+        assert tree_size(self.root) == len(self.model)
+
+
+BTreeMachine.TestCase.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)
+TestBTreeStateful = BTreeMachine.TestCase

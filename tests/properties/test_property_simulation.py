@@ -1,0 +1,114 @@
+"""Property-based end-to-end test: schedulers keep random workloads serialisable.
+
+Hypothesis draws workload parameters, a scheduler and an interleaving seed;
+whatever it picks, the committed projection of the run must be
+serialisable and all submitted transactions must finish (commit or give
+up).  This is the operational form of Theorems 3 and 4 under randomised
+stress.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import certify_run
+from repro.scheduler import make_scheduler
+from repro.simulation import (
+    BankingWorkload,
+    HotspotWorkload,
+    QueueWorkload,
+    RandomOperationsWorkload,
+    SimulationEngine,
+)
+
+scheduler_configurations = st.sampled_from(
+    [
+        ("n2pl", {}),
+        ("n2pl-step", {}),
+        ("nto", {}),
+        ("nto-step", {}),
+        ("single-active", {}),
+        ("certifier", {}),
+        ("modular", {}),
+        ("modular", {"default_strategy": "timestamp"}),
+    ]
+)
+
+
+def run_to_result(workload, scheduler_name, scheduler_kwargs, seed):
+    base, specs = workload.build()
+    engine = SimulationEngine(base, make_scheduler(scheduler_name, **scheduler_kwargs), seed=seed)
+    engine.submit_all(specs)
+    return engine.run()
+
+
+class TestRandomisedSchedulerCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scheduler_configurations,
+        st.integers(0, 10_000),
+        st.integers(2, 10),
+        st.floats(0.0, 1.0),
+    )
+    def test_hotspot_runs_are_serialisable(self, configuration, seed, transactions, hot_probability):
+        scheduler_name, scheduler_kwargs = configuration
+        workload = HotspotWorkload(
+            transactions=transactions,
+            hot_objects=2,
+            cold_objects=6,
+            hot_probability=hot_probability,
+            operations_per_transaction=3,
+            seed=seed,
+        )
+        result = run_to_result(workload, scheduler_name, scheduler_kwargs, seed)
+        assert result.metrics.committed + result.metrics.gave_up == transactions
+        assert certify_run(result, check_legality=False).serialisable
+
+    @settings(max_examples=15, deadline=None)
+    @given(scheduler_configurations, st.integers(0, 10_000), st.integers(2, 8))
+    def test_banking_runs_conserve_money_and_serialise(self, configuration, seed, transactions):
+        scheduler_name, scheduler_kwargs = configuration
+        workload = BankingWorkload(
+            accounts=5,
+            transactions=transactions,
+            transfer_fraction=0.8,
+            payroll_fraction=0.0,
+            seed=seed,
+        )
+        result = run_to_result(workload, scheduler_name, scheduler_kwargs, seed)
+        if result.metrics.gave_up == 0:
+            finals = result.final_states()
+            total = sum(
+                finals[name]["balance"] for name in finals if name.startswith("account-")
+            )
+            assert abs(total - workload.expected_total_balance()) < 1e-9
+        assert certify_run(result, check_legality=False).serialisable
+
+    @settings(max_examples=15, deadline=None)
+    @given(scheduler_configurations, st.integers(0, 10_000), st.integers(1, 3))
+    def test_nested_parallel_workloads_are_serialisable(self, configuration, seed, fanout):
+        scheduler_name, scheduler_kwargs = configuration
+        workload = RandomOperationsWorkload(
+            registers=6,
+            transactions=5,
+            operations_per_transaction=4,
+            nesting_depth=3,
+            parallel_fanout=fanout,
+            seed=seed,
+        )
+        result = run_to_result(workload, scheduler_name, scheduler_kwargs, seed)
+        assert certify_run(result, check_legality=False).serialisable
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 8))
+    def test_queue_workloads_never_lose_items_under_step_locking(self, seed, initial_depth):
+        workload = QueueWorkload(
+            queues=2, producers=4, consumers=4, initial_depth=initial_depth, seed=seed
+        )
+        result = run_to_result(workload, "n2pl-step", {}, seed)
+        assert certify_run(result, check_legality=False).serialisable
+        finals = result.final_states()
+        remaining = sum(
+            len(finals[name]["items"]) for name in finals if name.startswith("queue-")
+        )
+        assert remaining <= workload.queues * initial_depth + workload.total_items_produced()

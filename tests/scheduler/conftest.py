@@ -1,0 +1,75 @@
+"""Helpers for driving schedulers directly (without the simulation engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import LocalOperation, LocalStep
+from repro.objectbase import ObjectBase
+from repro.objectbase.adts import (
+    bank_account_definition,
+    counter_definition,
+    fifo_queue_definition,
+    register_definition,
+)
+from repro.scheduler.base import ExecutionInfo, OperationRequest
+
+
+def info(
+    execution_id: str,
+    object_name: str = "environment",
+    parent_id: str | None = None,
+    ancestors: tuple[str, ...] = (),
+    top_level: str | None = None,
+    method: str = "m",
+) -> ExecutionInfo:
+    """Build an :class:`ExecutionInfo` with sensible defaults for tests."""
+    if top_level is None:
+        top_level = ancestors[-1] if ancestors else execution_id
+    return ExecutionInfo(
+        execution_id=execution_id,
+        object_name=object_name,
+        method_name=method,
+        parent_id=parent_id,
+        ancestor_ids=ancestors,
+        top_level_id=top_level,
+    )
+
+
+def child_of(parent: ExecutionInfo, execution_id: str, object_name: str, method: str = "m") -> ExecutionInfo:
+    """An ExecutionInfo for a child of ``parent``."""
+    return ExecutionInfo(
+        execution_id=execution_id,
+        object_name=object_name,
+        method_name=method,
+        parent_id=parent.execution_id,
+        ancestor_ids=(parent.execution_id,) + parent.ancestor_ids,
+        top_level_id=parent.top_level_id,
+    )
+
+
+def request(
+    issuer: ExecutionInfo,
+    object_name: str,
+    operation: LocalOperation,
+    provisional_value=None,
+) -> OperationRequest:
+    """Build an :class:`OperationRequest` with an explicit provisional value."""
+    return OperationRequest(
+        info=issuer,
+        object_name=object_name,
+        operation=operation,
+        provisional_step=LocalStep(issuer.execution_id, object_name, operation, provisional_value),
+    )
+
+
+@pytest.fixture
+def small_object_base() -> ObjectBase:
+    """An object base with one of each of the commonly used ADTs."""
+    base = ObjectBase()
+    base.register(register_definition("cell", 0))
+    base.register(register_definition("other-cell", 0))
+    base.register(counter_definition("hits", 0))
+    base.register(bank_account_definition("acct", 100))
+    base.register(fifo_queue_definition("queue", ("seed",)))
+    return base

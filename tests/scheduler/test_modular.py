@@ -1,0 +1,208 @@
+"""Unit tests for the modular (intra- + inter-object) scheduler."""
+
+import pytest
+
+from repro.objectbase.adts.counter import AddToCounter
+from repro.objectbase.adts.register import ReadRegister, WriteRegister
+from repro.scheduler import ModularScheduler, make_scheduler
+from repro.scheduler.base import Decision
+from repro.scheduler.modular import (
+    IntraObjectLocking,
+    IntraObjectTimestampOrdering,
+    disjoint_ancestors,
+)
+
+from tests.scheduler.conftest import child_of, info, request
+
+
+def attach(base, **kwargs):
+    scheduler = ModularScheduler(**kwargs)
+    scheduler.attach(base)
+    return scheduler
+
+
+def run_step(scheduler, issuer, object_name, operation, value):
+    operation_request = request(issuer, object_name, operation, value)
+    response = scheduler.on_operation(operation_request)
+    if response.granted:
+        scheduler.on_operation_executed(operation_request, value)
+    return response
+
+
+class TestDisjointAncestors:
+    def test_top_level_pair(self):
+        first, second = info("T1"), info("T2")
+        assert disjoint_ancestors(first, second) == ("T1", "T2")
+
+    def test_children_of_different_transactions(self):
+        first = child_of(info("T1"), "T1.1", "A")
+        second = child_of(info("T2"), "T2.1", "B")
+        assert disjoint_ancestors(first, second) == ("T1", "T2")
+
+    def test_siblings_under_common_parent(self):
+        parent = info("T1")
+        first = child_of(parent, "T1.1", "A")
+        second = child_of(parent, "T1.2", "B")
+        assert disjoint_ancestors(first, second) == ("T1.1", "T1.2")
+
+    def test_comparable_executions_return_none(self):
+        parent = info("T1")
+        child = child_of(parent, "T1.1", "A")
+        grandchild = child_of(child, "T1.1.1", "B")
+        assert disjoint_ancestors(parent, child) is None
+        assert disjoint_ancestors(grandchild, parent) is None
+
+    def test_nephew_versus_uncle(self):
+        parent = info("T1")
+        uncle = child_of(parent, "T1.1", "A")
+        sibling = child_of(parent, "T1.2", "B")
+        nephew = child_of(sibling, "T1.2.1", "C")
+        assert disjoint_ancestors(nephew, uncle) == ("T1.2", "T1.1")
+
+
+class TestIntraObjectSynchronisers:
+    def test_locking_blocks_conflicting_transactions(self, small_object_base):
+        registry = small_object_base.conflicts("step")
+        synchroniser = IntraObjectLocking("cell", registry["cell"])
+        first = request(info("T1"), "cell", WriteRegister(1), 1)
+        second = request(info("T2"), "cell", WriteRegister(2), 2)
+        assert synchroniser.on_operation(first).granted
+        blocked = synchroniser.on_operation(second)
+        assert blocked.blocked and blocked.blockers == {"T1"}
+        synchroniser.on_transaction_finished("T1")
+        assert synchroniser.on_operation(second).granted
+
+    def test_locking_ignores_commuting_operations(self, small_object_base):
+        registry = small_object_base.conflicts("step")
+        synchroniser = IntraObjectLocking("hits", registry["hits"])
+        assert synchroniser.on_operation(request(info("T1"), "hits", AddToCounter(1))).granted
+        assert synchroniser.on_operation(request(info("T2"), "hits", AddToCounter(1))).granted
+
+    def test_timestamp_ordering_aborts_latecomers(self, small_object_base):
+        registry = small_object_base.conflicts("step")
+        synchroniser = IntraObjectTimestampOrdering("cell", registry["cell"])
+        # T1 arrives at the object first (smaller local timestamp) with a
+        # read, T2 then writes; when T1 comes back with a conflicting write
+        # it is "too late" with respect to T2's recorded write and aborts.
+        first_read = request(info("T1"), "cell", ReadRegister(), 0)
+        assert synchroniser.on_operation(first_read).granted
+        synchroniser.on_operation_executed(first_read, 0)
+        second_write = request(info("T2"), "cell", WriteRegister(2), 2)
+        assert synchroniser.on_operation(second_write).granted
+        synchroniser.on_operation_executed(second_write, 2)
+        response = synchroniser.on_operation(request(info("T1"), "cell", WriteRegister(1), 1))
+        assert response.aborted
+
+
+class TestModularScheduler:
+    def test_strategy_selection_per_object(self, small_object_base):
+        scheduler = attach(
+            small_object_base,
+            default_strategy="locking",
+            per_object_strategy={"hits": "timestamp"},
+        )
+        strategies = scheduler.describe()["strategies"]
+        assert strategies["hits"] == "timestamp"
+        assert strategies["cell"] == "locking"
+
+    def test_object_definition_hint_is_used(self):
+        from repro.objectbase import ObjectBase
+        from repro.objectbase.adts import btree_definition
+
+        base = ObjectBase()
+        base.register(btree_definition("idx"))
+        scheduler = attach(base)
+        assert scheduler.describe()["strategies"]["idx"] == "btree-key-locking"
+
+    def test_inter_object_coordinator_aborts_incompatible_orders(self, small_object_base):
+        scheduler = attach(small_object_base, default_strategy="timestamp")
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        # Object "cell" serialises T1 before T2; object "other-cell" would
+        # serialise T2 before T1 -> the coordinator must abort someone.
+        assert run_step(scheduler, first, "cell", WriteRegister(1), 1).granted
+        assert run_step(scheduler, second, "cell", WriteRegister(2), 2).granted
+        assert run_step(scheduler, second, "other-cell", WriteRegister(2), 2).granted
+        response = run_step(scheduler, first, "other-cell", WriteRegister(1), 1)
+        assert response.decision is Decision.ABORT
+        assert "inter-object" in response.reason
+
+    def test_intra_only_admits_incompatible_orders(self, small_object_base):
+        scheduler = attach(
+            small_object_base, default_strategy="timestamp", inter_object_checks=False
+        )
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert run_step(scheduler, first, "cell", WriteRegister(1), 1).granted
+        assert run_step(scheduler, second, "cell", WriteRegister(2), 2).granted
+        assert run_step(scheduler, second, "other-cell", WriteRegister(2), 2).granted
+        # Without inter-object checks the incompatible order goes unnoticed
+        # (each object on its own is still serialisable).
+        assert run_step(scheduler, first, "other-cell", WriteRegister(1), 1).granted
+
+    def test_blocking_intra_strategy_detects_cross_object_deadlock(self, small_object_base):
+        scheduler = attach(small_object_base, default_strategy="locking")
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert run_step(scheduler, first, "cell", WriteRegister(1), 1).granted
+        assert run_step(scheduler, second, "other-cell", WriteRegister(2), 2).granted
+        assert run_step(scheduler, first, "other-cell", WriteRegister(3), 3).blocked
+        response = run_step(scheduler, second, "cell", WriteRegister(4), 4)
+        assert response.decision is Decision.ABORT
+        assert scheduler.deadlocks_detected == 1
+
+    def test_abort_removes_coordinator_state(self, small_object_base):
+        scheduler = attach(small_object_base, default_strategy="timestamp")
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert run_step(scheduler, first, "cell", WriteRegister(1), 1).granted
+        assert run_step(scheduler, second, "cell", WriteRegister(2), 2).granted
+        scheduler.on_transaction_abort(first, ("T1",))
+        # T1's recorded step is gone, so a fresh transaction doing the
+        # reverse order is no longer constrained by it.
+        third = info("T3")
+        scheduler.on_transaction_begin(third)
+        assert run_step(scheduler, third, "other-cell", WriteRegister(9), 9).granted
+        assert run_step(scheduler, third, "cell", WriteRegister(9), 9).granted
+
+    def test_commit_releases_intra_object_locks(self, small_object_base):
+        scheduler = attach(small_object_base, default_strategy="locking")
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert run_step(scheduler, first, "cell", WriteRegister(1), 1).granted
+        assert run_step(scheduler, second, "cell", WriteRegister(2), 2).blocked
+        scheduler.on_transaction_commit(first)
+        assert run_step(scheduler, second, "cell", WriteRegister(2), 2).granted
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            ModularScheduler(level="bogus")
+
+
+class TestFactory:
+    def test_every_registered_name_instantiates(self, small_object_base):
+        from repro.scheduler import scheduler_names
+
+        for name in scheduler_names():
+            scheduler = make_scheduler(name)
+            scheduler.attach(small_object_base)
+            assert scheduler.describe()["name"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_scheduler("definitely-not-a-scheduler")
+
+    def test_level_argument_is_forwarded(self):
+        scheduler = make_scheduler("n2pl", level="step")
+        assert scheduler.level == "step"
+        step_variant = make_scheduler("nto-step")
+        assert step_variant.level == "step"
+
+    def test_modular_intra_only_disables_checks(self):
+        scheduler = make_scheduler("modular-intra-only")
+        assert scheduler.inter_object_checks is False

@@ -1,0 +1,157 @@
+"""Unit tests for nested two-phase locking (Moss' algorithm)."""
+
+from repro.core.operations import ReadVariable
+from repro.objectbase.adts.bank_account import Deposit, Withdraw
+from repro.objectbase.adts.fifo_queue import Dequeue, Enqueue
+from repro.objectbase.adts.register import ReadRegister, WriteRegister
+from repro.scheduler import NestedTwoPhaseLocking, STEP_LEVEL
+from repro.scheduler.base import Decision
+
+from tests.scheduler.conftest import child_of, info, request
+
+
+def make_scheduler(base, level="operation"):
+    scheduler = NestedTwoPhaseLocking(level=level)
+    scheduler.attach(base)
+    return scheduler
+
+
+class TestRuleTwo:
+    def test_compatible_requests_granted(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert scheduler.on_operation(request(first, "cell", ReadRegister())).granted
+        assert scheduler.on_operation(request(second, "cell", ReadRegister())).granted
+
+    def test_conflicting_request_blocks(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert scheduler.on_operation(request(first, "cell", WriteRegister(1))).granted
+        response = scheduler.on_operation(request(second, "cell", ReadRegister()))
+        assert response.blocked
+        assert "T1" in response.blockers
+        assert scheduler.blocked_requests == 1
+
+    def test_ancestor_holding_conflicting_lock_does_not_block(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        parent = info("T1")
+        scheduler.on_transaction_begin(parent)
+        child = child_of(parent, "T1.1", "cell")
+        scheduler.on_invoke(parent, child)
+        assert scheduler.on_operation(request(parent, "cell", WriteRegister(1))).granted
+        assert scheduler.on_operation(request(child, "cell", WriteRegister(2))).granted
+
+
+class TestLockInheritance:
+    def test_sibling_blocked_until_child_completes(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        parent = info("T1")
+        scheduler.on_transaction_begin(parent)
+        first_child = child_of(parent, "T1.1", "cell")
+        second_child = child_of(parent, "T1.2", "cell")
+        scheduler.on_invoke(parent, first_child)
+        scheduler.on_invoke(parent, second_child)
+        assert scheduler.on_operation(request(first_child, "cell", WriteRegister(1))).granted
+        assert scheduler.on_operation(request(second_child, "cell", WriteRegister(2))).blocked
+        # Rule 5: when the first child completes its locks move to the parent,
+        # which is an ancestor of the second child, so the retry succeeds.
+        scheduler.on_execution_complete(first_child)
+        assert scheduler.on_operation(request(second_child, "cell", WriteRegister(2))).granted
+
+    def test_commit_releases_all_locks(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert scheduler.on_operation(request(first, "cell", WriteRegister(1))).granted
+        assert scheduler.on_operation(request(second, "cell", WriteRegister(2))).blocked
+        scheduler.on_transaction_commit(first)
+        assert scheduler.on_operation(request(second, "cell", WriteRegister(2))).granted
+
+    def test_abort_releases_subtree_locks(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        parent = info("T1")
+        scheduler.on_transaction_begin(parent)
+        child = child_of(parent, "T1.1", "cell")
+        scheduler.on_invoke(parent, child)
+        assert scheduler.on_operation(request(child, "cell", WriteRegister(1))).granted
+        other = info("T2")
+        scheduler.on_transaction_begin(other)
+        assert scheduler.on_operation(request(other, "cell", WriteRegister(5))).blocked
+        scheduler.on_transaction_abort(parent, ("T1", "T1.1"))
+        assert scheduler.on_operation(request(other, "cell", WriteRegister(5))).granted
+
+
+class TestDeadlockDetection:
+    def test_two_transaction_deadlock_aborts_requester(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert scheduler.on_operation(request(first, "cell", WriteRegister(1))).granted
+        assert scheduler.on_operation(request(second, "other-cell", WriteRegister(1))).granted
+        # T1 now waits for T2, then T2 waits for T1 -> deadlock, requester aborts.
+        assert scheduler.on_operation(request(first, "other-cell", WriteRegister(2))).blocked
+        response = scheduler.on_operation(request(second, "cell", WriteRegister(2)))
+        assert response.decision is Decision.ABORT
+        assert "deadlock" in response.reason
+        assert scheduler.deadlocks_detected == 1
+
+
+class TestStepLevelLocking:
+    def test_queue_enqueue_does_not_block_unrelated_dequeue(self, small_object_base):
+        scheduler = make_scheduler(small_object_base, level=STEP_LEVEL)
+        producer, consumer = info("T1"), info("T2")
+        scheduler.on_transaction_begin(producer)
+        scheduler.on_transaction_begin(consumer)
+        enqueue = request(producer, "queue", Enqueue("fresh"), provisional_value=None)
+        dequeue = request(consumer, "queue", Dequeue(), provisional_value="seed")
+        assert scheduler.on_operation(enqueue).granted
+        assert scheduler.on_operation(dequeue).granted
+
+    def test_operation_level_blocks_the_same_pair(self, small_object_base):
+        scheduler = make_scheduler(small_object_base, level="operation")
+        producer, consumer = info("T1"), info("T2")
+        scheduler.on_transaction_begin(producer)
+        scheduler.on_transaction_begin(consumer)
+        assert scheduler.on_operation(request(producer, "queue", Enqueue("fresh"))).granted
+        assert scheduler.on_operation(
+            request(consumer, "queue", Dequeue(), provisional_value="seed")
+        ).blocked
+
+    def test_bank_account_withdraw_then_deposit_coexist(self, small_object_base):
+        scheduler = make_scheduler(small_object_base, level=STEP_LEVEL)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        withdraw = request(first, "acct", Withdraw(10), provisional_value=True)
+        deposit = request(second, "acct", Deposit(5), provisional_value=None)
+        assert scheduler.on_operation(withdraw).granted
+        assert scheduler.on_operation(deposit).granted
+
+
+class TestDescribe:
+    def test_describe_reports_configuration(self, small_object_base):
+        scheduler = make_scheduler(small_object_base, level=STEP_LEVEL)
+        description = scheduler.describe()
+        assert description["name"] == "n2pl"
+        assert description["level"] == STEP_LEVEL
+        assert description["deadlocks_detected"] == 0
+
+    def test_invalid_level_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            NestedTwoPhaseLocking(level="bogus")
+
+    def test_environment_operations_use_conservative_spec(self, small_object_base):
+        scheduler = make_scheduler(small_object_base)
+        first, second = info("T1"), info("T2")
+        scheduler.on_transaction_begin(first)
+        scheduler.on_transaction_begin(second)
+        assert scheduler.on_operation(request(first, "environment", ReadVariable("x"))).granted
+        assert scheduler.on_operation(request(second, "environment", ReadVariable("x"))).blocked

@@ -1,0 +1,75 @@
+"""Unit tests for method contexts, requests and transaction specs."""
+
+import pytest
+
+from repro.core import ReadVariable
+from repro.core.errors import SimulationError
+from repro.simulation import (
+    InvokeRequest,
+    LocalRequest,
+    MethodContext,
+    ParallelRequest,
+    TransactionSpec,
+)
+
+
+@pytest.fixture
+def context():
+    return MethodContext("account-1", "T1.1", "transfer")
+
+
+class TestMethodContext:
+    def test_local_wraps_operation(self, context):
+        request = context.local(ReadVariable("x"))
+        assert isinstance(request, LocalRequest)
+        assert request.operation == ReadVariable("x")
+
+    def test_local_rejects_non_operations(self, context):
+        with pytest.raises(SimulationError):
+            context.local("not an operation")
+
+    def test_invoke_builds_request(self, context):
+        request = context.invoke("account-2", "deposit", 10)
+        assert isinstance(request, InvokeRequest)
+        assert request.object_name == "account-2"
+        assert request.method_name == "deposit"
+        assert request.arguments == (10,)
+
+    def test_call_is_an_alias_of_invoke(self, context):
+        assert context.call("a", "m", 1) == context.invoke("a", "m", 1)
+
+    def test_parallel_groups_invocations(self, context):
+        request = context.parallel(context.call("a", "m"), context.call("b", "m"))
+        assert isinstance(request, ParallelRequest)
+        assert len(request.invocations) == 2
+
+    def test_parallel_flattens_nested_parallel(self, context):
+        inner = context.parallel(context.call("a", "m"))
+        request = context.parallel(inner, context.call("b", "m"))
+        assert len(request.invocations) == 2
+
+    def test_parallel_requires_invocations(self, context):
+        with pytest.raises(SimulationError):
+            context.parallel()
+        with pytest.raises(SimulationError):
+            context.parallel("nonsense")
+
+    def test_repr_mentions_identity(self, context):
+        assert "account-1" in repr(context)
+        assert "T1.1" in repr(context)
+
+
+class TestTransactionSpec:
+    def test_label_defaults_to_method_name(self):
+        spec = TransactionSpec("transfer", ("a", "b", 10))
+        assert spec.label == "transfer"
+
+    def test_explicit_label_preserved(self):
+        spec = TransactionSpec("transfer", (), label="payroll run")
+        assert spec.label == "payroll run"
+
+    def test_metadata_dict_is_per_instance(self):
+        first = TransactionSpec("t")
+        second = TransactionSpec("t")
+        first.metadata["key"] = 1
+        assert second.metadata == {}
