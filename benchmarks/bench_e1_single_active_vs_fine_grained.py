@@ -15,7 +15,10 @@ from .harness import print_experiment, run_configuration
 
 SCHEDULERS = ["single-active", "n2pl", "nto", "certifier"]
 TRANSACTION_COUNTS = [8, 16, 32]
-COLUMNS = ["transactions", "scheduler", "makespan", "blocked_ticks", "aborts", "throughput", "serialisable"]
+COLUMNS = [
+    "transactions", "scheduler", "makespan", "blocked_ticks", "blocked_fraction",
+    "aborts", "throughput", "serialisable",
+]
 
 
 def run_experiment() -> list[dict]:
@@ -37,5 +40,8 @@ def test_e1_single_active_vs_fine_grained(benchmark):
     for transactions in TRANSACTION_COUNTS:
         coarse = next(r for r in rows if r["transactions"] == transactions and r["scheduler"] == "single-active")
         fine = next(r for r in rows if r["transactions"] == transactions and r["scheduler"] == "n2pl")
-        assert coarse["makespan"] > fine["makespan"]
+        # Under the event-driven engine waiting no longer consumes ticks, so
+        # curtailed parallelism shows as a larger share of the run spent
+        # parked behind coarse object locks.
+        assert coarse["blocked_fraction"] > fine["blocked_fraction"]
     assert all(row["serialisable"] for row in rows)

@@ -13,7 +13,7 @@ from repro.simulation import MixedWorkload
 
 from .harness import print_experiment, run_configuration
 
-COLUMNS = ["configuration", "makespan", "blocked_ticks", "aborts", "throughput", "serialisable"]
+COLUMNS = ["configuration", "makespan", "blocked_ticks", "blocked_fraction", "aborts", "throughput", "serialisable"]
 
 
 def run_experiment() -> list[dict]:
@@ -38,5 +38,8 @@ def test_e5_modular_vs_uniform(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     print_experiment("E5: heterogeneous per-object synchronisation (order-processing base)", rows, COLUMNS)
     coarse, uniform, modular = rows
-    assert modular["makespan"] < coarse["makespan"]
+    # Waiting no longer consumes ticks: the heterogeneous per-object mix
+    # shows its concurrency win as a smaller share of the run spent parked
+    # than the coarse one-method-per-object baseline.
+    assert modular["blocked_fraction"] < coarse["blocked_fraction"]
     assert all(row["serialisable"] for row in rows)

@@ -17,7 +17,8 @@ HOT_PROBABILITIES = [0.2, 0.6, 0.9]
 SCHEDULERS = ["certifier", "n2pl"]
 COLUMNS = [
     "hot_probability", "scheduler", "makespan", "blocked_ticks",
-    "validation_aborts", "deadlocks", "wasted_fraction", "serialisable",
+    "validation_aborts", "cascade_aborts", "aborts", "deadlocks",
+    "wasted_fraction", "serialisable",
 ]
 
 
@@ -40,5 +41,9 @@ def test_e9_optimistic_tradeoff(benchmark):
     print_experiment("E9: optimistic certification vs pessimistic locking", rows, COLUMNS)
     certifier_rows = [row for row in rows if row["scheduler"] == "certifier"]
     assert all(row["blocked_ticks"] == 0 for row in certifier_rows)
-    assert certifier_rows[-1]["validation_aborts"] >= certifier_rows[0]["validation_aborts"]
+    # "Scheduling errors requiring abortions" grow with contention; with the
+    # recoverability gate they surface as validation aborts, commit
+    # dependency cycles and cascades, so the total abort count is the
+    # trade-off's honest measure.
+    assert certifier_rows[-1]["aborts"] >= certifier_rows[0]["aborts"]
     assert all(row["serialisable"] for row in rows)

@@ -1,11 +1,11 @@
-"""Shared helpers for the experiment benchmarks (E1-E10).
+"""Shared helpers for the experiment benchmarks (E1-E11).
 
 The paper has no numeric tables or figures, so every benchmark regenerates
-one of its comparative claims (see DESIGN.md's experiment index and
-EXPERIMENTS.md for the recorded outcomes).  Each ``bench_eN_*`` module
-defines a ``run_experiment()`` function that returns the experiment's rows
-and a pytest-benchmark test that times one full sweep and prints the table
-(visible with ``pytest benchmarks/ --benchmark-only -s``).
+one of its comparative claims (see the experiment index in ``DESIGN.md``).
+Each ``bench_eN_*`` module defines a ``run_experiment()`` function that
+returns the experiment's rows and a pytest-benchmark test that times one
+full sweep and prints the table (visible with
+``pytest benchmarks/ --benchmark-only -s``).
 """
 
 from __future__ import annotations
@@ -41,10 +41,14 @@ def run_configuration(
         "deadlocks": metrics.aborts_by_reason.get("deadlock", 0),
         "ts_aborts": metrics.aborts_by_reason.get("timestamp", 0),
         "validation_aborts": metrics.aborts_by_reason.get("validation", 0),
+        "cascade_aborts": metrics.aborts_by_reason.get("cascade", 0),
         "inter_object_aborts": metrics.aborts_by_reason.get("inter-object", 0),
         "makespan": metrics.total_ticks,
         "blocked_ticks": metrics.blocked_ticks,
         "blocked_fraction": metrics.blocked_fraction,
+        "parks": metrics.parks,
+        "wakes": metrics.wakes,
+        "wait_ticks": metrics.wait_ticks,
         "wasted_fraction": metrics.wasted_fraction,
         "throughput": metrics.throughput,
     }

@@ -1,15 +1,23 @@
-"""Immutable object states.
+"""Immutable object states and per-transaction undo segments.
 
 A *state* of an object is "a mapping associating values to the variables of
 an object" (Definition 1).  :class:`ObjectState` is an immutable mapping:
 mutating operations return a new state, which makes it cheap for the
 simulation engine and the history replayer to keep snapshots around and to
 compare final states for history equivalence (Definition 7).
+
+Immutability is also what makes :class:`UndoLog` cheap: recording the state
+of an object *before* a step applies is just keeping a reference, so the
+simulation engine can abort a transaction by rolling the affected objects
+back to the snapshot taken before the transaction's first step on them and
+re-applying only the surviving steps issued since — instead of replaying
+the entire run from the initial states.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
 from typing import Any
 
 from .values import freeze, values_equal
@@ -100,3 +108,132 @@ class ObjectState(Mapping[str, Any]):
 
 EMPTY_STATE = ObjectState()
 """A shared empty state, convenient as a default initial state."""
+
+
+@dataclass
+class AppliedStep:
+    """One local step applied to an object, with the pre-application state.
+
+    ``pre_state`` is a snapshot (a reference — states are immutable) of the
+    object's state immediately before ``operation`` was applied, which is
+    exactly what incremental undo needs to roll the object back to the
+    point just before an aborted transaction first touched it.
+    """
+
+    execution_id: str
+    top_level_id: str
+    object_name: str
+    operation: Any  # a LocalOperation; typed loosely to avoid an import cycle
+    pre_state: ObjectState
+
+
+class UndoLog:
+    """Per-object applied-step segments supporting incremental undo.
+
+    The log keeps, for every object, the ordered list of steps currently
+    contributing to its state (steps of aborted attempts are removed as
+    they abort), plus an index of which objects each top-level transaction
+    has touched.  Aborting a transaction therefore costs time proportional
+    to the log suffixes of the objects it touched — the steps applied since
+    the transaction's first write there — not to the whole run.
+    """
+
+    def __init__(self) -> None:
+        self._by_object: dict[str, list[AppliedStep]] = {}
+        self._touched_by_transaction: dict[str, set[str]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(
+        self,
+        object_name: str,
+        execution_id: str,
+        top_level_id: str,
+        operation: Any,
+        pre_state: ObjectState,
+    ) -> None:
+        """Append one applied step to the object's segment."""
+        self._by_object.setdefault(object_name, []).append(
+            AppliedStep(execution_id, top_level_id, object_name, operation, pre_state)
+        )
+        self._touched_by_transaction.setdefault(top_level_id, set()).add(object_name)
+
+    # -- queries -------------------------------------------------------------
+
+    def steps_on(self, object_name: str) -> list[AppliedStep]:
+        return list(self._by_object.get(object_name, ()))
+
+    def objects_touched(self, top_level_id: str) -> set[str]:
+        return set(self._touched_by_transaction.get(top_level_id, ()))
+
+    def total_steps(self) -> int:
+        return sum(len(entries) for entries in self._by_object.values())
+
+    # -- life cycle ----------------------------------------------------------
+
+    def forget_transaction(self, top_level_id: str) -> None:
+        """Drop the touched-object index of a finished (committed) transaction.
+
+        Its entries stay in the per-object segments — they are part of the
+        surviving prefix any later undo re-applies — but the transaction can
+        no longer be the subject of an undo, so its index is released.
+        """
+        self._touched_by_transaction.pop(top_level_id, None)
+
+    def undo(
+        self,
+        top_level_id: str,
+        subtree_ids: Iterable[str],
+        states: dict[str, ObjectState],
+    ) -> int:
+        """Undo every step of ``subtree_ids``, repairing ``states`` in place.
+
+        For each object the aborted transaction touched, the object is
+        rolled back to the snapshot taken before the subtree's first step
+        on it, and the surviving steps applied since are re-applied in
+        order (refreshing their snapshots).  Returns the number of removed
+        (wasted) steps.  Objects untouched by the subtree keep their states.
+        """
+        subtree = frozenset(subtree_ids)
+        removed = 0
+        for object_name in sorted(self._touched_by_transaction.pop(top_level_id, ())):
+            log = self._by_object.get(object_name)
+            if not log:
+                continue
+            first = next(
+                (index for index, entry in enumerate(log) if entry.execution_id in subtree),
+                None,
+            )
+            if first is None:
+                continue
+            suffix = log[first:]
+            del log[first:]
+            state = suffix[0].pre_state
+            for entry in suffix:
+                if entry.execution_id in subtree:
+                    removed += 1
+                    continue
+                entry.pre_state = state
+                _, state = entry.operation.apply(state)
+                log.append(entry)
+            states[object_name] = state
+        return removed
+
+    def prune(self, top_level_id: str, subtree_ids: Iterable[str]) -> int:
+        """Remove the subtree's entries without recomputing states.
+
+        Used by the legacy full-replay abort path, which recomputes every
+        object state from scratch anyway; the remaining entries' snapshots
+        are left stale, so a log that has been pruned must not be used for
+        incremental undo afterwards.
+        """
+        subtree = frozenset(subtree_ids)
+        removed = 0
+        for object_name in self._touched_by_transaction.pop(top_level_id, ()):
+            log = self._by_object.get(object_name)
+            if not log:
+                continue
+            kept = [entry for entry in log if entry.execution_id not in subtree]
+            removed += len(log) - len(kept)
+            self._by_object[object_name] = kept
+        return removed

@@ -35,6 +35,7 @@ from .modular import (
 )
 from .n2pl import NestedTwoPhaseLocking, StepLevelNestedTwoPhaseLocking
 from .nto import NestedTimestampOrdering, StepLevelNestedTimestampOrdering
+from .recovery import CommitGate
 from .single_active import SingleActiveObjectScheduler
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
@@ -79,6 +80,7 @@ def scheduler_names() -> list[str]:
 
 __all__ = [
     "BTreeKeyLocking",
+    "CommitGate",
     "Decision",
     "ExecutionInfo",
     "HierarchicalTimestamp",

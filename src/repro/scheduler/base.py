@@ -5,9 +5,29 @@ before every local operation and at every transaction lifecycle event, and
 the scheduler answers with one of three decisions:
 
 * ``GRANT`` — the operation may execute now;
-* ``BLOCK`` — the operation must wait (the engine will retry later);
+* ``BLOCK`` — the operation must wait.  The response names the *blockers*
+  (the owners standing in the way); the engine parks the issuing frame on
+  those identifiers and re-issues the request only after a wake-up fires
+  for one of them — there is no busy-wait polling loop;
 * ``ABORT`` — the issuing top-level transaction must abort (the engine
   undoes its effects and may restart it).
+
+Wake-ups travel through the scheduler: whenever a scheduler releases or
+transfers locks (or otherwise resolves the condition some waiter blocked
+on) it records the freed owner identifiers with :meth:`Scheduler._note_wakeups`,
+and the engine drains them via :meth:`Scheduler.drain_wakeups` after every
+lifecycle hook that can free resources — execution completion (lock
+inheritance), commit and abort.  The identifiers must be in the same
+namespace the scheduler used for ``SchedulerResponse.blockers``.
+Independently of the scheduler, the engine always wakes frames parked on a
+transaction (or any of its executions) when that transaction commits or
+aborts.
+
+``on_commit_request`` may also answer ``BLOCK``: the engine then parks the
+completed transaction at its commit point and retries the commit when a
+blocker resolves.  Optimistic and timestamp schedulers use this to delay
+commits until the transactions whose effects the requester observed have
+themselves committed (see :mod:`repro.scheduler.recovery`).
 
 The scheduler sees, with every request, the issuing method execution's
 identity and ancestry (:class:`ExecutionInfo`) and the operation together
@@ -52,6 +72,25 @@ class ExecutionInfo:
     def is_ancestor_or_self(self, other_execution_id: str) -> bool:
         """True when ``other_execution_id`` is this execution or an ancestor of it."""
         return other_execution_id == self.execution_id or other_execution_id in self.ancestor_ids
+
+
+def disjoint_ancestors(first: ExecutionInfo, second: ExecutionInfo) -> tuple[str, str] | None:
+    """The children of the least common ancestor on each side, or top-levels.
+
+    Returns ``None`` when the executions are comparable (one an ancestor of
+    the other), in which case no inter-object ordering constraint applies.
+    """
+    first_chain = (first.execution_id,) + first.ancestor_ids
+    second_chain = (second.execution_id,) + second.ancestor_ids
+    if first.execution_id in second_chain or second.execution_id in first_chain:
+        return None
+    second_set = set(second_chain)
+    common = next((ancestor for ancestor in first_chain if ancestor in second_set), None)
+    if common is None:
+        return first.top_level_id, second.top_level_id
+    first_side = first_chain[first_chain.index(common) - 1]
+    second_side = second_chain[second_chain.index(common) - 1]
+    return first_side, second_side
 
 
 @dataclass(frozen=True)
@@ -132,6 +171,7 @@ class Scheduler:
         self.object_base: ObjectBase | None = None
         self.operation_conflicts: PerObjectConflicts = PerObjectConflicts()
         self.step_conflicts: PerObjectConflicts = PerObjectConflicts()
+        self._pending_wakeups: set[str] = set()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -140,9 +180,29 @@ class Scheduler:
         self.object_base = object_base
         self.operation_conflicts = object_base.conflicts(OPERATION_LEVEL)
         self.step_conflicts = object_base.conflicts(STEP_LEVEL)
+        self._pending_wakeups = set()
 
     def conflicts_for(self, level: str) -> PerObjectConflicts:
         return self.operation_conflicts if level == OPERATION_LEVEL else self.step_conflicts
+
+    # -- wake-up notification ----------------------------------------------------
+
+    def _note_wakeups(self, owner_ids) -> None:
+        """Record that the given owners released (or transferred) resources.
+
+        The identifiers must match the namespace this scheduler uses for
+        ``SchedulerResponse.blockers``; parked frames waiting on any of them
+        will be re-awakened when the engine next drains the wake set.
+        """
+        self._pending_wakeups.update(owner_ids)
+
+    def drain_wakeups(self) -> frozenset[str]:
+        """Hand the accumulated wake-up identifiers to the engine (and reset)."""
+        if not self._pending_wakeups:
+            return frozenset()
+        drained = frozenset(self._pending_wakeups)
+        self._pending_wakeups.clear()
+        return drained
 
     # -- lifecycle hooks --------------------------------------------------------
 

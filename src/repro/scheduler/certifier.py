@@ -13,8 +13,24 @@ validation aborts.  This scheduler realises that end of the trade-off:
   transaction is aborted (backward validation), otherwise it commits and
   its precedence edges become part of the committed graph.
 
+Validation works at *disjoint-ancestor* granularity (the children of the
+least common ancestor of the two conflicting executions, or their
+top-level transactions when unrelated) — the same sibling-level
+projection of the serialisation graph Theorem 5 constrains.  Validating
+only whole transactions would miss cycles among the parallel children of
+a single nested transaction, whose sibling orders on different objects
+must also be mutually compatible.
+
 The committed projection of any run is therefore serialisable, which the
 post-hoc certification in :mod:`repro.analysis` verifies.
+
+Serialisable is not yet legal: executing against uncommitted state allows
+dirty reads, and a reader that commits before its writer aborts would
+record return values no replay of the committed projection can reproduce.
+A :class:`~repro.scheduler.recovery.CommitGate` therefore defers commits
+(the engine parks the transaction at its commit point — still never
+blocking an *operation*) until every transaction whose effects the
+candidate observed has resolved, cascade-aborting when one aborted.
 """
 
 from __future__ import annotations
@@ -35,16 +51,22 @@ from .base import (
     OperationRequest,
     Scheduler,
     SchedulerResponse,
+    disjoint_ancestors,
 )
+from .recovery import CommitGate
 
 
 @dataclass
 class _ExecutedStep:
-    """A step executed on behalf of some top-level transaction."""
+    """A step executed on behalf of some method execution."""
 
     sequence: int
     step: LocalStep
-    transaction_id: str
+    info: ExecutionInfo
+
+    @property
+    def transaction_id(self) -> str:
+        return self.info.top_level_id
 
 
 class OptimisticCertifier(Scheduler):
@@ -61,7 +83,13 @@ class OptimisticCertifier(Scheduler):
         self._steps_by_object: dict[str, list[_ExecutedStep]] = defaultdict(list)
         self._committed: set[str] = set()
         self._committed_graph = nx.DiGraph()
+        self._nodes_by_transaction: dict[str, set[str]] = defaultdict(set)
         self.validation_aborts = 0
+        self.gate = self._make_gate()
+
+    def _make_gate(self) -> CommitGate:
+        registry = self.conflicts_for(self.level)
+        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
 
     def attach(self, object_base: ObjectBase) -> None:
         super().attach(object_base)
@@ -69,7 +97,12 @@ class OptimisticCertifier(Scheduler):
         self._steps_by_object = defaultdict(list)
         self._committed = set()
         self._committed_graph = nx.DiGraph()
+        self._nodes_by_transaction = defaultdict(set)
         self.validation_aborts = 0
+        self.gate = self._make_gate()
+
+    def on_transaction_begin(self, info: ExecutionInfo) -> None:
+        self.gate.begin(info.top_level_id)
 
     # -- execution phase ----------------------------------------------------------
 
@@ -81,8 +114,10 @@ class OptimisticCertifier(Scheduler):
             request.info.execution_id, request.object_name, request.operation, value
         )
         self._steps_by_object[request.object_name].append(
-            _ExecutedStep(next(self._sequence), step, request.info.top_level_id)
+            _ExecutedStep(next(self._sequence), step, request.info)
         )
+        item = step if self.level == STEP_LEVEL else request.operation
+        self.gate.record_step(request.object_name, item, request.info.top_level_id)
 
     # -- validation phase ----------------------------------------------------------
 
@@ -95,31 +130,56 @@ class OptimisticCertifier(Scheduler):
         spec = self.operation_conflicts[object_name]
         return spec.operations_conflict(earlier.operation, later.operation)
 
-    def _precedence_edges(self, candidate_id: str) -> set[tuple[str, str]]:
-        """Edges between committed transactions and the candidate."""
+    def _precedence_edges(
+        self, candidate_id: str
+    ) -> tuple[set[tuple[str, str]], dict[str, str]]:
+        """Sibling-level edges the candidate adds, plus node ownership.
+
+        Every pair of conflicting steps of incomparable executions — where
+        at least one side belongs to the candidate and both sides belong to
+        resolved-or-candidate transactions — induces an edge between their
+        disjoint ancestors: top-level transactions when unrelated, sibling
+        executions inside the candidate when the conflict is internal.
+        """
         relevant = self._committed | {candidate_id}
         edges: set[tuple[str, str]] = set()
+        owner_of: dict[str, str] = {}
         for object_name, records in self._steps_by_object.items():
             for first, second in itertools.combinations(records, 2):
-                if first.transaction_id == second.transaction_id:
-                    continue
                 if first.transaction_id not in relevant or second.transaction_id not in relevant:
                     continue
                 if candidate_id not in (first.transaction_id, second.transaction_id):
                     continue
                 earlier, later = (first, second) if first.sequence < second.sequence else (second, first)
-                if self._conflicting(object_name, earlier.step, later.step):
-                    edges.add((earlier.transaction_id, later.transaction_id))
-        return edges
+                if not self._conflicting(object_name, earlier.step, later.step):
+                    continue
+                pair = disjoint_ancestors(earlier.info, later.info)
+                if pair is None:
+                    continue  # comparable executions: no ordering constraint
+                edges.add(pair)
+                owner_of[pair[0]] = earlier.transaction_id
+                owner_of[pair[1]] = later.transaction_id
+        return edges, owner_of
 
     def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
         candidate_id = info.top_level_id
-        edges = self._precedence_edges(candidate_id)
+        # Recoverability first: wait out (or cascade on) live dependencies,
+        # so validation only ever runs against resolved predecessors.
+        gate_response = self.gate.check_commit(candidate_id)
+        if not gate_response.granted:
+            return gate_response
+        edges, owner_of = self._precedence_edges(candidate_id)
         trial_graph = self._committed_graph.copy()
         trial_graph.add_node(candidate_id)
         trial_graph.add_edges_from(edges)
         if nx.is_directed_acyclic_graph(trial_graph):
             self._committed_graph = trial_graph
+            for node, owner in owner_of.items():
+                # Ownership is only needed to clean up after an abort;
+                # committed owners can never abort, so don't index them.
+                if owner not in self._committed:
+                    self._nodes_by_transaction[owner].add(node)
+            self._nodes_by_transaction[candidate_id].add(candidate_id)
             return SchedulerResponse.grant()
         self.validation_aborts += 1
         return SchedulerResponse.abort(
@@ -128,13 +188,25 @@ class OptimisticCertifier(Scheduler):
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
         self._committed.add(info.top_level_id)
+        # The nodes stay in the committed graph; only the abort-cleanup
+        # index is released (a committed transaction never aborts).
+        self._nodes_by_transaction.pop(info.top_level_id, None)
+        self._note_wakeups(self.gate.finish(info.top_level_id, committed=True))
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         transaction_id = info.top_level_id
         for records in self._steps_by_object.values():
             records[:] = [record for record in records if record.transaction_id != transaction_id]
-        if transaction_id in self._committed_graph and transaction_id not in self._committed:
-            self._committed_graph.remove_node(transaction_id)
+        if transaction_id not in self._committed:
+            # A failed candidate never merged its trial graph, but edges
+            # *touching* it may have been added by later-validating peers;
+            # drop every node the aborted transaction owns.
+            for node in self._nodes_by_transaction.pop(transaction_id, set()):
+                if node in self._committed_graph:
+                    self._committed_graph.remove_node(node)
+            if transaction_id in self._committed_graph:
+                self._committed_graph.remove_node(transaction_id)
+        self._note_wakeups(self.gate.finish(transaction_id, committed=False))
 
     # -- descriptive ------------------------------------------------------------
 
@@ -144,4 +216,5 @@ class OptimisticCertifier(Scheduler):
             "level": self.level,
             "validation_aborts": self.validation_aborts,
             "committed": len(self._committed),
+            **self.gate.describe(),
         }

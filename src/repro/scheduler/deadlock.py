@@ -2,52 +2,122 @@
 
 Two-phase locking schedulers may deadlock (the paper notes that NTO, by
 contrast, aborts instead of waiting and is deadlock free).  The detector
-below maintains a waits-for graph at top-level-transaction granularity:
-when execution ``e`` of transaction ``T`` blocks on locks held by
-executions of transaction ``T'``, an edge ``T -> T'`` is recorded.  A cycle
-(including the degenerate self-loop produced when two sibling executions of
-the same transaction block each other) means no further progress is
-possible and a victim must be aborted.
+below maintains a waits-for graph at top-level-transaction granularity,
+derived *incrementally* from a parked-waiter table: every parked method
+execution contributes one record ``(waiter transaction, holder
+transactions)``, and the graph's edges are reference-counted sums of those
+records.  Parking and unparking a waiter are O(holders) updates — nothing
+is recomputed per lock request — and several executions of the same
+transaction can wait simultaneously (parallel siblings) without clobbering
+one another's edges, which the old replace-the-out-edge-set interface
+could not express.
+
+A cycle (including the degenerate self-loop produced when two sibling
+executions of the same transaction block each other) means no further
+progress is possible and a victim must be aborted.
+
+The legacy ``set_waits``/``clear_waits`` interface is kept as a thin layer
+over the table (one record keyed by the waiter itself) for callers that
+track at most one wait per transaction.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 
 class WaitsForGraph:
-    """A mutable waits-for graph over top-level transaction identifiers."""
+    """A waits-for graph over top-level transactions, fed by parked waiters."""
 
     def __init__(self) -> None:
-        self._edges: dict[str, set[str]] = defaultdict(set)
+        # waiter transaction -> holder transaction -> number of parked
+        # records contributing the edge.
+        self._out: dict[str, dict[str, int]] = {}
+        # parked-waiter table: record key (usually the waiting execution's
+        # id) -> (waiter transaction, holder transactions).
+        self._parked: dict[str, tuple[str, frozenset[str]]] = {}
+        self._keys_by_waiter: dict[str, set[str]] = {}
+
+    # -- the parked-waiter table ------------------------------------------------
+
+    def park(self, key: str, waiter: str, holders: set[str] | frozenset[str]) -> None:
+        """Record that the execution ``key`` of ``waiter`` waits on ``holders``.
+
+        Re-parking an existing key replaces its previous record (the waiter
+        retried and is now blocked on a possibly different holder set).
+        """
+        self.unpark(key)
+        holder_set = frozenset(holders)
+        if not holder_set:
+            return
+        self._parked[key] = (waiter, holder_set)
+        self._keys_by_waiter.setdefault(waiter, set()).add(key)
+        out = self._out.setdefault(waiter, {})
+        for holder in holder_set:
+            out[holder] = out.get(holder, 0) + 1
+
+    def unpark(self, key: str) -> None:
+        """Remove the parked record for ``key`` (no-op when absent)."""
+        record = self._parked.pop(key, None)
+        if record is None:
+            return
+        waiter, holders = record
+        keys = self._keys_by_waiter.get(waiter)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_by_waiter[waiter]
+        out = self._out.get(waiter)
+        if out is None:
+            return
+        for holder in holders:
+            count = out.get(holder, 0) - 1
+            if count <= 0:
+                out.pop(holder, None)
+            else:
+                out[holder] = count
+        if not out:
+            del self._out[waiter]
+
+    def parked_keys(self, waiter: str) -> set[str]:
+        """The record keys currently parked on behalf of ``waiter``."""
+        return set(self._keys_by_waiter.get(waiter, ()))
+
+    # -- legacy single-record interface ------------------------------------------
 
     def set_waits(self, waiter: str, holders: set[str]) -> None:
-        """Replace the out-edges of ``waiter`` with the given holder set.
+        """Replace the single record keyed by ``waiter`` with the holder set.
 
         Self-loops are kept: a transaction whose sibling executions wait on
         one another is just as stuck as a cross-transaction cycle.
         """
-        holder_set = set(holders)
-        if holder_set:
-            self._edges[waiter] = holder_set
+        if holders:
+            self.park(waiter, waiter, holders)
         else:
-            self._edges.pop(waiter, None)
+            self.unpark(waiter)
 
     def clear_waits(self, waiter: str) -> None:
-        """Remove every wait recorded for ``waiter``."""
-        self._edges.pop(waiter, None)
+        """Remove the record keyed by ``waiter``."""
+        self.unpark(waiter)
+
+    # -- transaction life cycle ---------------------------------------------------
 
     def remove_transaction(self, transaction_id: str) -> None:
         """Remove the transaction both as waiter and as holder."""
-        self._edges.pop(transaction_id, None)
-        for holders in self._edges.values():
-            holders.discard(transaction_id)
+        for key in list(self._keys_by_waiter.get(transaction_id, ())):
+            self.unpark(key)
+        for key, (waiter, holders) in list(self._parked.items()):
+            if transaction_id in holders:
+                remaining = holders - {transaction_id}
+                self.unpark(key)
+                if remaining:
+                    self.park(key, waiter, remaining)
+
+    # -- queries -------------------------------------------------------------------
 
     def edges(self) -> dict[str, set[str]]:
-        return {waiter: set(holders) for waiter, holders in self._edges.items()}
+        return {waiter: set(out) for waiter, out in self._out.items() if out}
 
     def waits_of(self, waiter: str) -> set[str]:
-        return set(self._edges.get(waiter, set()))
+        return set(self._out.get(waiter, ()))
 
     def find_cycle_from(self, start: str) -> list[str] | None:
         """Return a cycle reachable from ``start`` (as a list of nodes), if any."""
@@ -58,7 +128,7 @@ class WaitsForGraph:
         def visit(node: str) -> list[str] | None:
             path.append(node)
             on_path.add(node)
-            for successor in self._edges.get(node, ()):  # deterministic enough for tests
+            for successor in self._out.get(node, ()):  # deterministic enough for tests
                 if successor in on_path:
                     return path[path.index(successor) :]
                 if successor not in visited:
@@ -74,4 +144,4 @@ class WaitsForGraph:
 
     def has_self_wait(self, transaction_id: str) -> bool:
         """True when a transaction's executions wait on one another."""
-        return transaction_id in self._edges.get(transaction_id, set())
+        return transaction_id in self._out.get(transaction_id, ())

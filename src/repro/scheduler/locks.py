@@ -10,6 +10,12 @@ conflicting holder is an *ancestor* of the requester.
 The :class:`LockManager` also implements lock inheritance (rule 5): when a
 method execution completes, its locks are transferred to — "immediately
 acquired by" — its parent.
+
+Release and transfer return the identifiers of the owners whose locks were
+freed; blocking schedulers forward them (translated to whatever namespace
+their ``blockers`` use) into the engine's wake-up path so parked waiters
+are re-awakened exactly when a blocker commits, aborts, or passes its
+locks up the execution tree.
 """
 
 from __future__ import annotations
@@ -132,27 +138,40 @@ class LockManager:
         self._locks_by_owner[requester.execution_id].append(entry)
         return LockRequestOutcome(True)
 
-    def release_all(self, owner_id: str) -> int:
-        """Release every lock owned by the execution; returns how many."""
+    def release_all(self, owner_id: str) -> frozenset[str]:
+        """Release every lock owned by the execution.
+
+        Returns the freed owner identifiers — ``{owner_id}`` when at least
+        one lock was released, empty otherwise — so the caller can turn the
+        release into wake-ups for parked waiters.
+        """
         entries = self._locks_by_owner.pop(owner_id, [])
         for entry in entries:
             try:
                 self._locks_by_object[entry.object_name].remove(entry)
             except ValueError:  # pragma: no cover - defensive
                 pass
-        return len(entries)
+        return frozenset({owner_id}) if entries else frozenset()
 
-    def release_all_of(self, owner_ids: Iterable[str]) -> int:
-        """Release every lock owned by any of the executions."""
-        return sum(self.release_all(owner_id) for owner_id in owner_ids)
+    def release_all_of(self, owner_ids: Iterable[str]) -> frozenset[str]:
+        """Release every lock owned by any of the executions; freed owner ids."""
+        freed: set[str] = set()
+        for owner_id in owner_ids:
+            freed.update(self.release_all(owner_id))
+        return frozenset(freed)
 
-    def transfer(self, child_id: str, parent_id: str) -> int:
-        """Rule 5: the parent acquires every lock the child releases."""
+    def transfer(self, child_id: str, parent_id: str) -> frozenset[str]:
+        """Rule 5: the parent acquires every lock the child releases.
+
+        Returns ``{child_id}`` when locks actually moved: waiters blocked on
+        the child must be re-examined, because the inheriting parent may be
+        their ancestor (in which case the conflict has evaporated).
+        """
         entries = self._locks_by_owner.pop(child_id, [])
         for entry in entries:
             entry.owner_id = parent_id
             self._locks_by_owner[parent_id].append(entry)
-        return len(entries)
+        return frozenset({child_id}) if entries else frozenset()
 
     def owners(self) -> set[str]:
         """All executions currently owning at least one lock."""

@@ -46,8 +46,10 @@ from .base import (
     OperationRequest,
     Scheduler,
     SchedulerResponse,
+    disjoint_ancestors,
 )
 from .deadlock import WaitsForGraph
+from .recovery import CommitGate
 from .timestamps import TimestampAuthority
 
 
@@ -214,25 +216,6 @@ class _RecordedStep:
     info: ExecutionInfo
 
 
-def disjoint_ancestors(first: ExecutionInfo, second: ExecutionInfo) -> tuple[str, str] | None:
-    """The children of the least common ancestor on each side, or top-levels.
-
-    Returns ``None`` when the executions are comparable (one an ancestor of
-    the other), in which case no inter-object ordering constraint applies.
-    """
-    first_chain = (first.execution_id,) + first.ancestor_ids
-    second_chain = (second.execution_id,) + second.ancestor_ids
-    if first.execution_id in second_chain or second.execution_id in first_chain:
-        return None
-    second_set = set(second_chain)
-    common = next((ancestor for ancestor in first_chain if ancestor in second_set), None)
-    if common is None:
-        return first.top_level_id, second.top_level_id
-    first_side = first_chain[first_chain.index(common) - 1]
-    second_side = second_chain[second_chain.index(common) - 1]
-    return first_side, second_side
-
-
 class InterObjectCoordinator:
     """Maintains the sibling-level serialisation order across all objects.
 
@@ -325,8 +308,19 @@ class ModularScheduler(Scheduler):
         self._coordinator: InterObjectCoordinator | None = None
         self.waits = WaitsForGraph()
         self.authority = TimestampAuthority()
+        self.gate = self._make_gate()
         self.deadlocks_detected = 0
         self.blocked_requests = 0
+
+    def _make_gate(self) -> CommitGate:
+        # Intra-object synchronisers are free to execute against uncommitted
+        # state (timestamp ordering does); the gate keeps committed histories
+        # recoverable regardless of the per-object strategy mix.  It belongs
+        # to the *inter-object* half of the split, so the intra-only
+        # configuration — the paper's deliberately insufficient baseline —
+        # runs without it.
+        registry = self.conflicts_for(self.level)
+        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -349,6 +343,7 @@ class ModularScheduler(Scheduler):
         self._coordinator = InterObjectCoordinator(lambda name: registry[name], step_level)
         self.waits = WaitsForGraph()
         self.authority = TimestampAuthority()
+        self.gate = self._make_gate()
         self.deadlocks_detected = 0
         self.blocked_requests = 0
 
@@ -362,13 +357,19 @@ class ModularScheduler(Scheduler):
 
     # -- scheduling --------------------------------------------------------------
 
+    def on_transaction_begin(self, info: ExecutionInfo) -> None:
+        if self.inter_object_checks:
+            self.gate.begin(info.top_level_id)
+
     def on_operation(self, request: OperationRequest) -> SchedulerResponse:
         transaction_id = request.info.top_level_id
         intra = self.synchroniser_for(request.object_name)
         intra_response = intra.on_operation(request)
         if intra_response.blocked:
             self.blocked_requests += 1
-            self.waits.set_waits(transaction_id, set(intra_response.blockers))
+            self.waits.park(
+                request.info.execution_id, transaction_id, set(intra_response.blockers)
+            )
             cycle = self.waits.find_cycle_from(transaction_id)
             if cycle is not None:
                 self.deadlocks_detected += 1
@@ -380,7 +381,7 @@ class ModularScheduler(Scheduler):
         if intra_response.aborted:
             return intra_response
 
-        self.waits.clear_waits(transaction_id)
+        self.waits.unpark(request.info.execution_id)
         if self.inter_object_checks and self._coordinator is not None:
             inter_response = self._coordinator.check_step(request)
             if not inter_response.granted:
@@ -391,17 +392,32 @@ class ModularScheduler(Scheduler):
         self.synchroniser_for(request.object_name).on_operation_executed(request, value)
         if self._coordinator is not None:
             self._coordinator.record_step(request, value)
+        if self.inter_object_checks:
+            item = (
+                LocalStep(request.info.execution_id, request.object_name, request.operation, value)
+                if self.level == STEP_LEVEL
+                else request.operation
+            )
+            self.gate.record_step(request.object_name, item, request.info.top_level_id)
 
-    def _finish_transaction(self, info: ExecutionInfo) -> None:
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        if not self.inter_object_checks:
+            return SchedulerResponse.grant()
+        return self.gate.check_commit(info.top_level_id)
+
+    def _finish_transaction(self, info: ExecutionInfo, *, committed: bool) -> None:
         for synchroniser in self._synchronisers.values():
             synchroniser.on_transaction_finished(info.top_level_id)
         self.waits.remove_transaction(info.top_level_id)
+        # Intra-object locks (held to transaction end) are now gone and any
+        # read-from dependencies on this transaction are resolved.
+        self._note_wakeups(self.gate.finish(info.top_level_id, committed=committed))
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
-        self._finish_transaction(info)
+        self._finish_transaction(info, committed=True)
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
-        self._finish_transaction(info)
+        self._finish_transaction(info, committed=False)
         if self._coordinator is not None:
             subtree_ids = set(subtree) | {info.execution_id}
             self._coordinator.forget_transaction(subtree_ids, subtree_ids)
@@ -422,4 +438,5 @@ class ModularScheduler(Scheduler):
             "ordering_aborts": ordering_aborts,
             "deadlocks_detected": self.deadlocks_detected,
             "blocked_requests": self.blocked_requests,
+            **self.gate.describe(),
         }

@@ -81,7 +81,7 @@ class NestedTwoPhaseLocking(Scheduler):
         item = request.lock_item(self.level)
         outcome = self.locks.request(request.object_name, item, request.info)
         if outcome.granted:
-            self.waits.clear_waits(request.info.top_level_id)
+            self.waits.unpark(request.info.execution_id)
             return SchedulerResponse.grant()
 
         self.blocked_requests += 1
@@ -90,27 +90,44 @@ class NestedTwoPhaseLocking(Scheduler):
         # complete and pass its locks to the common parent, unblocking the
         # waiter), whereas a cycle of transactions waiting on one another can
         # never resolve itself and the requester is chosen as the victim.
+        # The waits-for graph is maintained incrementally from the parked
+        # waiters, keyed by the blocked execution, so parallel siblings of
+        # one transaction each contribute their own edges.
         blocking_transactions = {
             self._top_level_of.get(owner_id, owner_id) for owner_id in outcome.blockers
         }
         cross_transaction_blockers = blocking_transactions - {request.info.top_level_id}
-        self.waits.set_waits(request.info.top_level_id, cross_transaction_blockers)
+        self.waits.park(
+            request.info.execution_id, request.info.top_level_id, cross_transaction_blockers
+        )
         cycle = self.waits.find_cycle_from(request.info.top_level_id)
         if cycle is not None:
             self.deadlocks_detected += 1
             self.waits.remove_transaction(request.info.top_level_id)
             return SchedulerResponse.abort(f"deadlock among transactions {sorted(set(cycle))}")
+        # Blockers are reported at execution granularity: a parked waiter is
+        # then only re-awakened by events that can actually change its
+        # outcome — the blocking execution transfers its locks (rule 5) or
+        # its transaction ends — instead of by every release anywhere in the
+        # blocking transaction.
         return SchedulerResponse.block(
-            "conflicting locks held by non-ancestors", blockers=blocking_transactions
+            "conflicting locks held by non-ancestors", blockers=outcome.blockers
         )
 
     def on_execution_complete(self, info: ExecutionInfo) -> None:
         assert self.locks is not None
         if info.parent_id is not None:
             # Rule 5: the parent immediately acquires the released locks.
-            self.locks.transfer(info.execution_id, info.parent_id)
+            freed = self.locks.transfer(info.execution_id, info.parent_id)
+            if freed:
+                # Waiters blocked on the child must re-check their conflict:
+                # the inheriting parent may be their ancestor.
+                self._note_wakeups(freed)
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        # The engine itself wakes every frame parked on an ending
+        # transaction (or any of its executions), so the release needs no
+        # wake-up note; only rule-5 transfers do.
         assert self.locks is not None
         self.locks.release_all(info.execution_id)
         self.waits.remove_transaction(info.top_level_id)

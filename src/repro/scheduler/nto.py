@@ -24,6 +24,14 @@ Both implementation strategies of the paper are available:
 
 Timestamps of ancestors are prefixes of their descendants' timestamps;
 records issued by comparable executions never force an abort.
+
+NTO grants operations against uncommitted state, so a transaction can
+observe values influenced by a concurrent transaction that later aborts.
+To keep committed histories legal the scheduler runs a
+:class:`~repro.scheduler.recovery.CommitGate`: commits wait (the engine
+parks the transaction at its commit point) until the transactions whose
+effects were observed have committed, and cascade-abort when one of them
+aborted — Reed's "commit dependencies" in the terms of this code base.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from .base import (
     Scheduler,
     SchedulerResponse,
 )
+from .recovery import CommitGate
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
 
@@ -67,6 +76,11 @@ class NestedTimestampOrdering(Scheduler):
         self.authority = TimestampAuthority()
         self._records: dict[str, list[_StepRecord]] = defaultdict(list)
         self.timestamp_aborts = 0
+        self.gate = self._make_gate()
+
+    def _make_gate(self) -> CommitGate:
+        registry = self.conflicts_for(self.level)
+        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -75,11 +89,13 @@ class NestedTimestampOrdering(Scheduler):
         self.authority = TimestampAuthority()
         self._records = defaultdict(list)
         self.timestamp_aborts = 0
+        self.gate = self._make_gate()
 
     # -- lifecycle --------------------------------------------------------------
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
         self.authority.assign_top_level(info.execution_id)
+        self.gate.begin(info.top_level_id)
 
     def on_invoke(self, parent: ExecutionInfo, child: ExecutionInfo) -> None:
         self.authority.assign_child(parent.execution_id, child.execution_id)
@@ -122,12 +138,20 @@ class NestedTimestampOrdering(Scheduler):
         self._records[request.object_name].append(
             _StepRecord(item, timestamp, request.info.execution_id)
         )
+        self.gate.record_step(request.object_name, item, request.info.top_level_id)
+
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        return self.gate.check_commit(info.top_level_id)
+
+    def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        self._note_wakeups(self.gate.finish(info.top_level_id, committed=True))
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         # The aborted executions' records are kept (their timestamps remain a
         # conservative lower bound, as in the paper's max-timestamp scheme),
         # but their timestamp assignments can be forgotten.
         self.authority.forget_subtree(set(subtree) - {info.execution_id})
+        self._note_wakeups(self.gate.finish(info.top_level_id, committed=False))
 
     # -- descriptive ------------------------------------------------------------
 
@@ -137,6 +161,7 @@ class NestedTimestampOrdering(Scheduler):
             "level": self.level,
             "timestamp_aborts": self.timestamp_aborts,
             "recorded_steps": sum(len(records) for records in self._records.values()),
+            **self.gate.describe(),
         }
 
 

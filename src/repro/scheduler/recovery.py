@@ -1,0 +1,188 @@
+"""Commit-time recoverability gate for non-strict schedulers.
+
+Schedulers that grant operations against uncommitted state — timestamp
+ordering, optimistic certifiers, and per-object timestamp synchronisers —
+admit *dirty reads*: an execution can observe a return value influenced by
+a step of a transaction that later aborts.  If the reader then commits,
+its recorded return values contradict any replay of the committed
+projection and the history stops being legal (the seed's
+``test_committed_projection_is_legal[nto]`` failure).
+
+:class:`CommitGate` closes that hole the classical way — by making
+committed histories *recoverable* — without ever blocking an operation:
+
+* every executed step is compared against the earlier steps of still-live
+  transactions; a conflict records a read-from dependency (the requester
+  may have observed the other transaction's effects);
+* a commit request is **blocked** while any dependency is still live (the
+  engine parks the transaction at its commit point and re-awakens it when
+  a dependency commits or aborts);
+* a commit request is **aborted** — a cascading abort — when a dependency
+  has aborted: the requester observed state that has since been undone;
+* mutual commit-waits (a dependency cycle) would stall forever, so the
+  gate keeps its own incremental :class:`~repro.scheduler.deadlock.WaitsForGraph`
+  over commit-waiters and aborts the requester that closes a cycle (such a
+  cycle is also a serialisation-graph cycle, so one of the participants
+  must die anyway).
+
+The gate tracks only live transactions: a transaction's records, its
+dependency set and — once no live dependent references them — aborted
+markers are all dropped as transactions resolve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.operations import LocalOperation, LocalStep
+from .base import SchedulerResponse
+from .deadlock import WaitsForGraph
+
+
+@dataclass
+class _GateRecord:
+    """One executed step (or operation) of a still-live transaction."""
+
+    sequence: int
+    item: LocalOperation | LocalStep
+    transaction_id: str
+
+
+class CommitGate:
+    """Tracks read-from dependencies and arbitrates commit requests.
+
+    Parameters
+    ----------
+    conflicts_lookup:
+        ``object name -> ConflictSpec`` accessor (matching the owning
+        scheduler's conflict granularity).
+    step_level:
+        When true, dependencies are induced by step conflicts (return-value
+        aware); otherwise by operation conflicts.
+    """
+
+    def __init__(self, conflicts_lookup: Callable[[str], Any], step_level: bool = True):
+        self._conflicts_lookup = conflicts_lookup
+        self._step_level = step_level
+        self._sequence = itertools.count(1)
+        self._steps_by_object: dict[str, list[_GateRecord]] = {}
+        self._live: set[str] = set()
+        self._aborted: set[str] = set()
+        self._dependencies: dict[str, set[str]] = {}
+        self._waits = WaitsForGraph()
+        self.cascading_aborts = 0
+        self.commit_waits = 0
+
+    # -- life cycle ----------------------------------------------------------
+
+    def begin(self, transaction_id: str) -> None:
+        self._live.add(transaction_id)
+
+    def finish(self, transaction_id: str, *, committed: bool) -> frozenset[str]:
+        """The transaction resolved; returns the wake-up keys it frees."""
+        self._live.discard(transaction_id)
+        if not committed:
+            self._aborted.add(transaction_id)
+        for records in self._steps_by_object.values():
+            records[:] = [
+                record for record in records if record.transaction_id != transaction_id
+            ]
+        self._dependencies.pop(transaction_id, None)
+        self._waits.remove_transaction(transaction_id)
+        if self._aborted:
+            # An aborted marker only matters while some live dependent might
+            # still observe it; prune the rest to keep the gate bounded.
+            referenced: set[str] = set()
+            for dependencies in self._dependencies.values():
+                referenced.update(dependencies)
+            self._aborted &= referenced
+        return frozenset({transaction_id})
+
+    # -- recording -----------------------------------------------------------
+
+    def _conflicting(self, object_name: str, earlier, later) -> bool:
+        spec = self._conflicts_lookup(object_name)
+        if self._step_level and isinstance(earlier, LocalStep) and isinstance(later, LocalStep):
+            return spec.steps_conflict(earlier, later)
+        earlier_operation = earlier.operation if isinstance(earlier, LocalStep) else earlier
+        later_operation = later.operation if isinstance(later, LocalStep) else later
+        return spec.operations_conflict(earlier_operation, later_operation)
+
+    @staticmethod
+    def _mutates_state(item: LocalOperation | LocalStep) -> bool:
+        """False only when the item is provably read-only.
+
+        A read-only step cannot have transferred uncommitted data to a
+        later observer, so it never seeds a read-from dependency; an
+        operation that does not declare its write set is treated as
+        mutating (conservatively).
+        """
+        operation = item.operation if isinstance(item, LocalStep) else item
+        write_set = operation.write_set()
+        return write_set is None or bool(write_set)
+
+    def record_step(
+        self,
+        object_name: str,
+        item: LocalOperation | LocalStep,
+        transaction_id: str,
+    ) -> None:
+        """An operation of ``transaction_id`` executed; collect dependencies.
+
+        Earlier conflicting *state-mutating* steps of other live
+        transactions may have influenced the observed return value, so each
+        contributes a read-from dependency.
+        """
+        records = self._steps_by_object.setdefault(object_name, [])
+        dependencies = self._dependencies.setdefault(transaction_id, set())
+        for record in records:
+            if record.transaction_id == transaction_id:
+                continue
+            if record.transaction_id not in self._live:
+                continue  # pragma: no cover - records of resolved txns are pruned
+            if not self._mutates_state(record.item):
+                continue
+            if self._conflicting(object_name, record.item, item):
+                dependencies.add(record.transaction_id)
+        records.append(_GateRecord(next(self._sequence), item, transaction_id))
+
+    # -- commit arbitration ----------------------------------------------------
+
+    def check_commit(self, transaction_id: str) -> SchedulerResponse:
+        """GRANT, BLOCK (park until dependencies resolve) or ABORT (cascade)."""
+        dependencies = self._dependencies.get(transaction_id, set())
+        dirty = dependencies & self._aborted
+        if dirty:
+            self.cascading_aborts += 1
+            self._waits.unpark(transaction_id)
+            return SchedulerResponse.abort(
+                f"cascading abort: observed state written by aborted transaction(s) "
+                f"{sorted(dirty)}"
+            )
+        waiting = dependencies & self._live
+        if waiting:
+            self._waits.park(transaction_id, transaction_id, waiting)
+            cycle = self._waits.find_cycle_from(transaction_id)
+            if cycle is not None:
+                self._waits.unpark(transaction_id)
+                return SchedulerResponse.abort(
+                    f"validation failed: commit dependency cycle among "
+                    f"{sorted(set(cycle))}"
+                )
+            self.commit_waits += 1
+            return SchedulerResponse.block(
+                "waiting for commit of transactions whose effects were observed",
+                blockers=waiting,
+            )
+        self._waits.unpark(transaction_id)
+        return SchedulerResponse.grant()
+
+    # -- descriptive ------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "cascading_aborts": self.cascading_aborts,
+            "commit_waits": self.commit_waits,
+        }

@@ -14,6 +14,15 @@ otherwise; locks belong to the top-level transaction and are held until it
 commits or aborts.  This deliberately "severely curtails parallelism"
 (the paper's words) and is the baseline experiment E1 compares the
 fine-grained schedulers against.
+
+Transaction-granularity locks say nothing about the *parallel siblings
+inside* a transaction: two parallel children may interleave conflicting
+steps on different objects in incompatible orders, closing a
+sibling-level serialisation cycle (Theorem 5) that no amount of
+inter-transaction locking prevents.  A lightweight intra-transaction
+ordering guard therefore records, per transaction, the sibling-level
+edges its conflicting steps induce and aborts the transaction when a new
+step would close a cycle among its own siblings.
 """
 
 from __future__ import annotations
@@ -21,12 +30,88 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any
 
+from ..core.operations import LocalStep
 from ..objectbase.base import ObjectBase
-from .base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
+from .base import (
+    ExecutionInfo,
+    OperationRequest,
+    Scheduler,
+    SchedulerResponse,
+    disjoint_ancestors,
+)
 from .deadlock import WaitsForGraph
 
 SHARED = "shared"
 EXCLUSIVE = "exclusive"
+
+
+class IntraTransactionOrdering:
+    """Keeps one transaction's sibling-level step orders mutually compatible.
+
+    For every pair of conflicting steps issued by *incomparable* executions
+    of the same transaction, the induced edge between their disjoint
+    ancestors (children of the least common ancestor) must keep the
+    transaction-local precedence graph acyclic; the requesting transaction
+    is aborted otherwise.  Sequentially issued siblings always order
+    consistently, so only parallel siblings can ever trigger an abort.
+    """
+
+    def __init__(self, conflicts_lookup):
+        self._conflicts_lookup = conflicts_lookup
+        # top-level id -> recorded (object_name, step, info) in issue order
+        self._steps: dict[str, list[tuple[str, LocalStep, ExecutionInfo]]] = defaultdict(list)
+        # top-level id -> sibling precedence adjacency
+        self._edges: dict[str, dict[str, set[str]]] = defaultdict(dict)
+
+    def _reaches(self, edges: dict[str, set[str]], start: str, target: str) -> bool:
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    def check_step(self, request: OperationRequest) -> SchedulerResponse:
+        transaction_id = request.info.top_level_id
+        edges = self._edges[transaction_id]
+        new_pairs: set[tuple[str, str]] = set()
+        for object_name, step, info in self._steps[transaction_id]:
+            if object_name != request.object_name:
+                continue
+            pair = disjoint_ancestors(info, request.info)
+            if pair is None:
+                continue  # comparable executions are ordered by nesting
+            spec = self._conflicts_lookup(object_name)
+            if spec.steps_conflict(step, request.provisional_step):
+                new_pairs.add(pair)
+        for earlier_side, later_side in new_pairs:
+            if earlier_side == later_side:
+                continue
+            if self._reaches(edges, later_side, earlier_side):
+                return SchedulerResponse.abort(
+                    "inter-object ordering violation among parallel siblings: "
+                    f"admitting the step would order {later_side} both before "
+                    f"and after {earlier_side}"
+                )
+        for earlier_side, later_side in new_pairs:
+            edges.setdefault(earlier_side, set()).add(later_side)
+        return SchedulerResponse.grant()
+
+    def record_step(self, request: OperationRequest, value: Any) -> None:
+        step = LocalStep(
+            request.info.execution_id, request.object_name, request.operation, value
+        )
+        self._steps[request.info.top_level_id].append(
+            (request.object_name, step, request.info)
+        )
+
+    def forget_transaction(self, transaction_id: str) -> None:
+        self._steps.pop(transaction_id, None)
+        self._edges.pop(transaction_id, None)
 
 
 class SingleActiveObjectScheduler(Scheduler):
@@ -39,15 +124,22 @@ class SingleActiveObjectScheduler(Scheduler):
         # object name -> {transaction id -> mode}
         self._object_locks: dict[str, dict[str, str]] = defaultdict(dict)
         self.waits = WaitsForGraph()
+        self.sibling_order = IntraTransactionOrdering(self._sibling_conflicts)
         self.deadlocks_detected = 0
         self.blocked_requests = 0
+        self.sibling_ordering_aborts = 0
+
+    def _sibling_conflicts(self, object_name: str):
+        return self.step_conflicts[object_name]
 
     def attach(self, object_base: ObjectBase) -> None:
         super().attach(object_base)
         self._object_locks = defaultdict(dict)
         self.waits = WaitsForGraph()
+        self.sibling_order = IntraTransactionOrdering(self._sibling_conflicts)
         self.deadlocks_detected = 0
         self.blocked_requests = 0
+        self.sibling_ordering_aborts = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -75,17 +167,21 @@ class SingleActiveObjectScheduler(Scheduler):
         mode = self._required_mode(request)
         blockers = self._incompatible_holders(request.object_name, transaction_id, mode)
         if not blockers:
+            sibling_response = self.sibling_order.check_step(request)
+            if not sibling_response.granted:
+                self.sibling_ordering_aborts += 1
+                return sibling_response
             holders = self._object_locks[request.object_name]
             current = holders.get(transaction_id)
             if current != EXCLUSIVE:
                 holders[transaction_id] = mode if current is None else (
                     EXCLUSIVE if EXCLUSIVE in (current, mode) else SHARED
                 )
-            self.waits.clear_waits(transaction_id)
+            self.waits.unpark(request.info.execution_id)
             return SchedulerResponse.grant()
 
         self.blocked_requests += 1
-        self.waits.set_waits(transaction_id, blockers)
+        self.waits.park(request.info.execution_id, transaction_id, blockers)
         cycle = self.waits.find_cycle_from(transaction_id)
         if cycle is not None:
             self.deadlocks_detected += 1
@@ -95,10 +191,17 @@ class SingleActiveObjectScheduler(Scheduler):
             )
         return SchedulerResponse.block("object locked by another transaction", blockers=blockers)
 
+    def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
+        self.sibling_order.record_step(request, value)
+
     def _release(self, transaction_id: str) -> None:
+        # Object locks only ever free at transaction end, and the engine
+        # itself wakes frames parked on an ending transaction — no wake-up
+        # note needed here.
         for holders in self._object_locks.values():
             holders.pop(transaction_id, None)
         self.waits.remove_transaction(transaction_id)
+        self.sibling_order.forget_transaction(transaction_id)
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
         self._release(info.top_level_id)
@@ -113,4 +216,5 @@ class SingleActiveObjectScheduler(Scheduler):
             "name": self.name,
             "deadlocks_detected": self.deadlocks_detected,
             "blocked_requests": self.blocked_requests,
+            "sibling_ordering_aborts": self.sibling_ordering_aborts,
         }

@@ -1,6 +1,6 @@
 """Simulation substrate: engine, transaction programmes, metrics, workloads."""
 
-from .engine import SimulationEngine
+from .engine import INCREMENTAL_UNDO, REPLAY_UNDO, SimulationEngine
 from .events import Trace, TraceEvent
 from .metrics import RunMetrics, RunResult
 from .transactions import (
@@ -32,6 +32,8 @@ __all__ = [
     "RandomOperationsWorkload",
     "RunMetrics",
     "RunResult",
+    "INCREMENTAL_UNDO",
+    "REPLAY_UNDO",
     "SimulationEngine",
     "Trace",
     "TraceEvent",

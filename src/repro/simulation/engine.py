@@ -17,13 +17,25 @@ Execution model
   it: a local operation (consulting the scheduler and, when granted,
   executing it against the object states), a message send (creating a child
   frame), or the completion of the frame.
-* Blocking costs ticks: a frame whose operation is blocked stays runnable
-  and retries when next scheduled, so the run's total tick count (the
-  *makespan*) directly reflects the concurrency the scheduler admits.
+* The engine is **event-driven**: a frame whose operation is BLOCKed is
+  *parked* — removed from the runnable set, keyed by the blocker
+  identifiers the scheduler reports — and is re-awakened only when a
+  wake-up fires for one of its blockers: the blocker commits, aborts, or
+  transfers its locks (rule 5 inheritance).  A parked frame never
+  re-issues its request in between, so the makespan and the blocking
+  metrics measure contention, not polling.  A commit request may block
+  too (optimistic schedulers wait for read-from dependencies); the frame
+  then parks at its commit point.  Blocking with no identifiable live
+  blocker falls back to retrying, which feeds the starvation valve.
 * An ``ABORT`` decision aborts the whole top-level transaction: its frames
-  are discarded, the object states are rebuilt by replaying every local
-  step that does not belong to an aborted attempt, and the transaction is
-  resubmitted (up to ``max_restarts`` times) as a fresh execution.
+  are discarded, the affected object states are repaired by *incremental
+  undo* — each touched object is rolled back to the snapshot taken before
+  the transaction's first step on it and the surviving steps since are
+  re-applied — and the transaction is resubmitted (up to ``max_restarts``
+  times) as a fresh execution.  The cost is proportional to the aborted
+  subtree's footprint, not the length of the whole run; the legacy
+  full-replay strategy is kept (``undo="replay"``) for benchmarking, and
+  ``check_undo=True`` runs both and verifies they agree after every abort.
 
 The recorded history contains the steps of aborted attempts as well; the
 :class:`~repro.simulation.metrics.RunResult` exposes the committed
@@ -39,7 +51,7 @@ from typing import Any
 from ..core.errors import SimulationError
 from ..core.history import HistoryBuilder
 from ..core.operations import LocalOperation, LocalStep
-from ..core.state import ObjectState
+from ..core.state import ObjectState, UndoLog
 from ..objectbase.base import ObjectBase
 from ..scheduler.base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
 from .events import (
@@ -52,6 +64,7 @@ from .events import (
     GRANTED,
     INVOKE,
     RESTARTED,
+    WOKEN,
     Trace,
     TraceEvent,
 )
@@ -66,7 +79,11 @@ from .transactions import (
 
 _READY = "ready"
 _WAITING = "waiting"
+_PARKED = "parked"
 _DONE = "done"
+
+INCREMENTAL_UNDO = "incremental"
+REPLAY_UNDO = "replay"
 
 
 @dataclass
@@ -86,6 +103,10 @@ class _Frame:
     parallel_order: list[str] = field(default_factory=list)
     spec: TransactionSpec | None = None
     attempt: int = 1
+    parked_on: frozenset[str] = frozenset()
+    parked_since: int = 0
+    pending_commit: bool = False
+    commit_value: Any = None
 
     @property
     def execution_id(self) -> str:
@@ -94,7 +115,7 @@ class _Frame:
 
 @dataclass
 class _StepLogEntry:
-    """A local step executed by the engine, kept for state reconstruction."""
+    """A local step kept (only) for the full-replay undo strategy."""
 
     execution_id: str
     top_level_id: str
@@ -117,9 +138,13 @@ class SimulationEngine:
         max_ticks: int = 2_000_000,
         record_trace: bool = False,
         conflict_level_for_history: str = "step",
+        undo: str = INCREMENTAL_UNDO,
+        check_undo: bool = False,
     ):
         if scheduling not in ("random", "round-robin"):
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
+        if undo not in (INCREMENTAL_UNDO, REPLAY_UNDO):
+            raise SimulationError(f"unknown undo strategy {undo!r}")
         self.object_base = object_base
         self.scheduler = scheduler
         self.rng = random.Random(seed)
@@ -128,6 +153,8 @@ class SimulationEngine:
         self.starvation_limit = starvation_limit
         self.max_ticks = max_ticks
         self.record_trace = record_trace
+        self.undo = undo
+        self.check_undo = check_undo
         self._trace = Trace() if record_trace else None
 
         self._builder = HistoryBuilder(
@@ -138,10 +165,17 @@ class SimulationEngine:
         self._frames: dict[str, _Frame] = {}
         self._executions_by_transaction: dict[str, set[str]] = {}
         self._round_robin_cursor = 0
-        self._step_log: list[_StepLogEntry] = []
+        self._undo_log = UndoLog()
+        # The append-only global step log is only needed when the full-replay
+        # strategy (or its equivalence check) is active.
+        self._full_log: list[_StepLogEntry] | None = (
+            [] if undo == REPLAY_UNDO or check_undo else None
+        )
         self._aborted_executions: set[str] = set()
         self._committed: list[str] = []
         self._pending_specs: list[TransactionSpec] = []
+        # Parked-frame reverse index: blocker key -> ids of frames parked on it.
+        self._parked_by_key: dict[str, set[str]] = {}
         self.metrics = RunMetrics()
         self._tick = 0
         self._finished = False
@@ -183,12 +217,23 @@ class SimulationEngine:
         self._pending_specs = []
 
         while self._frames and self._tick < self.max_ticks:
-            self._tick += 1
-            self.metrics.total_ticks = self._tick
             frame_id = self._choose_frame()
             if frame_id is None:
-                break
+                # No runnable frame.  If frames are parked, a wake-up was
+                # missed (a scheduler bug) or the wait cannot resolve; force
+                # a retry round rather than dropping the transactions.
+                if not self._force_wake_all():
+                    break
+                continue
+            self._tick += 1
+            self.metrics.total_ticks = self._tick
             self._advance(self._frames[frame_id])
+
+        # A run cut off at max_ticks may leave frames parked; account their
+        # wait so the contention metrics do not understate truncated runs.
+        for frame in self._frames.values():
+            if frame.status == _PARKED:
+                self._clear_parking(frame)
 
         self._finished = True
         history = self._builder.build()
@@ -209,8 +254,91 @@ class SimulationEngine:
             return None
         if self.scheduling == "random":
             return self.rng.choice(candidates)
-        self._round_robin_cursor = (self._round_robin_cursor + 1) % len(candidates)
-        return candidates[self._round_robin_cursor]
+        index = self._round_robin_cursor % len(candidates)
+        self._round_robin_cursor = index + 1
+        return candidates[index]
+
+    # ------------------------------------------------------------------
+    # parking and wake-ups
+    # ------------------------------------------------------------------
+
+    def _live_blocker_keys(self, blockers: frozenset[str]) -> frozenset[str]:
+        """The blocker identifiers that refer to live executions/transactions.
+
+        A frame may only park on keys a future wake-up can fire for; dead or
+        unknown identifiers are dropped (and a frame with none left falls
+        back to retrying).
+        """
+        if not blockers:
+            return frozenset()
+        live_transactions = {frame.info.top_level_id for frame in self._frames.values()}
+        return frozenset(
+            key for key in blockers if key in self._frames or key in live_transactions
+        )
+
+    def _park(self, frame: _Frame, blockers: frozenset[str], *, commit: bool) -> bool:
+        """Park the frame on its blockers; False when no live key exists."""
+        keys = self._live_blocker_keys(blockers)
+        if not keys:
+            return False
+        frame.status = _PARKED
+        frame.parked_on = keys
+        frame.parked_since = self._tick
+        for key in keys:
+            self._parked_by_key.setdefault(key, set()).add(frame.execution_id)
+        self.metrics.parks += 1
+        if commit:
+            self.metrics.commit_parks += 1
+        return True
+
+    def _clear_parking(self, frame: _Frame) -> None:
+        """Remove the frame from the park index and account its wait time."""
+        for key in frame.parked_on:
+            waiters = self._parked_by_key.get(key)
+            if waiters is not None:
+                waiters.discard(frame.execution_id)
+                if not waiters:
+                    del self._parked_by_key[key]
+        elapsed = self._tick - frame.parked_since
+        self.metrics.wait_ticks += elapsed
+        if frame.pending_commit:
+            self.metrics.commit_wait_ticks += elapsed
+        else:
+            self.metrics.blocked_ticks += elapsed
+        frame.parked_on = frozenset()
+
+    def _wake_frame(self, frame_id: str, detail: str) -> None:
+        frame = self._frames.get(frame_id)
+        if frame is None or frame.status != _PARKED:
+            return
+        self._clear_parking(frame)
+        frame.status = _READY
+        self.metrics.wakes += 1
+        self._record(WOKEN, frame.execution_id, detail=detail)
+
+    def _drain_wakeups(self, extra_keys=()) -> None:
+        """Wake every frame parked on a freed blocker identifier.
+
+        Combines the scheduler's accumulated wake set (lock releases and
+        transfers) with the engine's own keys (transaction ends).
+        """
+        keys = set(self.scheduler.drain_wakeups())
+        keys.update(extra_keys)
+        if not keys or not self._parked_by_key:
+            return
+        for key in keys:
+            for frame_id in list(self._parked_by_key.get(key, ())):
+                self._wake_frame(frame_id, detail=key)
+
+    def _force_wake_all(self) -> bool:
+        """Last-resort stall breaker: wake every parked frame for a retry."""
+        parked = [frame for frame in self._frames.values() if frame.status == _PARKED]
+        if not parked:
+            return False
+        for frame in parked:
+            self.metrics.forced_wakes += 1
+            self._wake_frame(frame.execution_id, detail="forced")
+        return True
 
     # ------------------------------------------------------------------
     # frame management
@@ -272,6 +400,9 @@ class SimulationEngine:
 
     def _advance(self, frame: _Frame) -> None:
         if frame.status != _READY:
+            return
+        if frame.pending_commit:
+            self._complete_top_level(frame, frame.commit_value)
             return
         if frame.pending_local is not None:
             self._resolve_local(frame, frame.pending_local)
@@ -339,10 +470,16 @@ class SimulationEngine:
         if response.blocked:
             frame.pending_local = request
             frame.blocked_attempts += 1
-            self.metrics.blocked_ticks += 1
             self._record(BLOCKED, frame.execution_id, object_name, response.reason)
             if frame.blocked_attempts >= self.starvation_limit:
                 self._abort_transaction(frame.info.top_level_id, "starvation: blocked too long")
+                return
+            if not self._park(frame, response.blockers, commit=False):
+                # No live blocker to key a wake-up on: stay runnable and
+                # retry (the pre-event-driven behaviour), which keeps the
+                # starvation valve meaningful for degenerate schedulers.
+                self.metrics.blocked_ticks += 1
+                self.metrics.wait_ticks += 1
             return
         if response.aborted:
             frame.pending_local = None
@@ -352,12 +489,17 @@ class SimulationEngine:
         # Granted: execute against the current state and record the step.
         frame.pending_local = None
         frame.blocked_attempts = 0
-        value, new_state = operation.apply(self._states.get(object_name, ObjectState()))
+        pre_state = self._states.get(object_name, ObjectState())
+        value, new_state = operation.apply(pre_state)
         self._states[object_name] = new_state
         self._builder.local(frame.execution, operation, return_value=value)
-        self._step_log.append(
-            _StepLogEntry(frame.execution_id, frame.info.top_level_id, object_name, operation)
+        self._undo_log.record(
+            object_name, frame.execution_id, frame.info.top_level_id, operation, pre_state
         )
+        if self._full_log is not None:
+            self._full_log.append(
+                _StepLogEntry(frame.execution_id, frame.info.top_level_id, object_name, operation)
+            )
         self.metrics.local_steps += 1
         self.scheduler.on_operation_executed(operation_request, value)
         self._record(GRANTED, frame.execution_id, object_name, operation.name)
@@ -375,6 +517,10 @@ class SimulationEngine:
         self._record(COMPLETED, frame.execution_id, frame.info.object_name)
         self._deliver_to_parent(frame, return_value)
         self._frames.pop(frame.execution_id, None)
+        # Completion may have transferred the child's locks to its parent
+        # (rule 5); waiters blocked on the child must re-examine their
+        # conflicts against the inheriting ancestor.
+        self._drain_wakeups()
 
     def _deliver_to_parent(self, child: _Frame, return_value: Any) -> None:
         parent = child.parent
@@ -398,23 +544,61 @@ class SimulationEngine:
 
     def _complete_top_level(self, frame: _Frame, return_value: Any) -> None:
         response = self.scheduler.on_commit_request(frame.info)
+        if response.blocked:
+            # The scheduler defers the commit (e.g. until the transactions
+            # whose effects this one observed have resolved); park at the
+            # commit point and retry on wake-up.
+            frame.status = _READY  # _complete_frame marked it done
+            frame.pending_commit = True
+            frame.commit_value = return_value
+            frame.blocked_attempts += 1
+            self._record(BLOCKED, frame.execution_id, detail=response.reason or "commit deferred")
+            if frame.blocked_attempts >= self.starvation_limit:
+                self._abort_transaction(frame.info.top_level_id, "starvation: blocked too long")
+                return
+            if not self._park(frame, response.blockers, commit=True):
+                # No live blocker to key a wake-up on: busy-retry the commit
+                # (mirrors the operation-block fallback); account the wait
+                # as commit waiting so "never blocks an operation"
+                # schedulers still report zero blocked ticks.
+                self.metrics.wait_ticks += 1
+                self.metrics.commit_wait_ticks += 1
+            return
         if not response.granted:
             self._abort_transaction(frame.info.top_level_id, response.reason or "commit vetoed")
             return
+        frame.pending_commit = False
         self.scheduler.on_transaction_commit(frame.info)
         self.metrics.committed += 1
         self._committed.append(frame.execution_id)
         self._record(COMMITTED, frame.execution_id, detail=str(return_value))
         self._frames.pop(frame.execution_id, None)
+        self._undo_log.forget_transaction(frame.info.top_level_id)
+        # The commit released the transaction's locks (and resolved any
+        # read-from dependencies on it): wake its waiters, then drop the
+        # execution index — a committed transaction can never abort, so the
+        # subtree listing is dead weight from here on.
+        self._drain_wakeups(
+            {frame.execution_id, *self._executions_by_transaction.get(frame.execution_id, ())}
+        )
+        self._executions_by_transaction.pop(frame.execution_id, None)
 
     # -- aborts ----------------------------------------------------------------------
 
     @staticmethod
     def _abort_reason_category(reason: str) -> str:
         lowered = reason.lower()
-        for keyword in ("deadlock", "timestamp", "validation", "inter-object", "intra-object", "starvation"):
+        for keyword in (
+            "deadlock",
+            "timestamp",
+            "cascad",
+            "validation",
+            "inter-object",
+            "intra-object",
+            "starvation",
+        ):
             if keyword in lowered:
-                return keyword
+                return "cascade" if keyword == "cascad" else keyword
         return "other"
 
     def _abort_transaction(self, top_level_id: str, reason: str) -> None:
@@ -435,8 +619,6 @@ class SimulationEngine:
         self._aborted_executions.update(subtree_ids)
         self.metrics.aborted_attempts += 1
         self.metrics.aborts_by_reason[self._abort_reason_category(reason)] += 1
-        wasted = sum(1 for entry in self._step_log if entry.execution_id in subtree_ids)
-        self.metrics.wasted_steps += wasted
         self._record(ABORTED, top_level_id, detail=reason)
 
         info = top_frame.info if top_frame is not None else ExecutionInfo(
@@ -449,12 +631,20 @@ class SimulationEngine:
         )
         self.scheduler.on_transaction_abort(info, tuple(sorted(subtree_ids)))
 
-        # Discard the attempt's frames and rebuild the object states from the
-        # surviving (non-aborted) steps.
+        # Discard the attempt's frames (unhooking any parked ones) and undo
+        # the attempt's effects on the object states.
         for frame in subtree_frames:
+            if frame.status == _PARKED:
+                self._clear_parking(frame)
             frame.status = _DONE
             self._frames.pop(frame.execution_id, None)
-        self._rebuild_states()
+        self.metrics.wasted_steps += self._undo_states(top_level_id, subtree_ids)
+
+        # The abort released the transaction's locks and undid its effects:
+        # wake every frame parked on any execution of the subtree, then drop
+        # the attempt's execution index (a restart gets fresh ids).
+        self._drain_wakeups(subtree_ids)
+        self._executions_by_transaction.pop(top_level_id, None)
 
         # Restart the transaction if its spec allows it.
         spec = top_frame.spec if top_frame is not None else None
@@ -466,11 +656,34 @@ class SimulationEngine:
             self.metrics.gave_up += 1
             self._record(GAVE_UP, top_level_id, detail=reason)
 
-    def _rebuild_states(self) -> None:
+    def _undo_states(self, top_level_id: str, subtree_ids: set[str]) -> int:
+        """Undo the aborted subtree's steps; returns the wasted-step count."""
+        if self.undo == REPLAY_UNDO:
+            removed = self._undo_log.prune(top_level_id, subtree_ids)
+            self._states = self._replay_states()
+            return removed
+        removed = self._undo_log.undo(top_level_id, subtree_ids, self._states)
+        if self.check_undo:
+            replayed = self._replay_states()
+            if self._states != replayed:
+                differing = sorted(
+                    name
+                    for name in set(self._states) | set(replayed)
+                    if self._states.get(name) != replayed.get(name)
+                )
+                raise SimulationError(
+                    "incremental undo diverged from full replay on objects "
+                    f"{differing} after abort of {top_level_id}"
+                )
+        return removed
+
+    def _replay_states(self) -> dict[str, ObjectState]:
+        """Rebuild every object state by replaying the surviving global log."""
+        assert self._full_log is not None, "full replay requires the global step log"
         states = dict(self.object_base.initial_states())
-        for entry in self._step_log:
+        for entry in self._full_log:
             if entry.execution_id in self._aborted_executions:
                 continue
             state = states.get(entry.object_name, ObjectState())
             _, states[entry.object_name] = entry.operation.apply(state)
-        self._states = states
+        return states

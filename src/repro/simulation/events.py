@@ -34,6 +34,7 @@ BEGIN = "begin"
 INVOKE = "invoke"
 GRANTED = "granted"
 BLOCKED = "blocked"
+WOKEN = "woken"
 ABORTED = "aborted"
 RESTARTED = "restarted"
 COMPLETED = "completed"

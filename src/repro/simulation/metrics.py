@@ -7,6 +7,15 @@ committed/aborted transaction counts, abort reasons, blocking, wasted work
 and the makespan in scheduler ticks (each tick is one scheduling attempt,
 so blocking and restarts lengthen the run exactly as lost concurrency
 would on a real system).
+
+The engine is event-driven: a frame whose operation is BLOCKed is *parked*
+(removed from the runnable set) until a wake-up fires, so ``blocked_ticks``
+measures the ticks frames actually spent waiting on conflicting owners —
+contention — rather than how often a busy-wait loop re-polled the
+scheduler.  ``parks``/``wakes`` count the park/wake transitions themselves,
+and ``commit_wait_ticks`` separately accounts for time spent parked at the
+commit point waiting for read-from dependencies to resolve (an optimistic
+scheduler that never blocks an *operation* still reports 0 blocked ticks).
 """
 
 from __future__ import annotations
@@ -34,6 +43,12 @@ class RunMetrics:
     invocations: int = 0
     aborts_by_reason: Counter = field(default_factory=Counter)
     submitted: int = 0
+    parks: int = 0
+    wakes: int = 0
+    forced_wakes: int = 0
+    commit_parks: int = 0
+    wait_ticks: int = 0
+    commit_wait_ticks: int = 0
 
     # -- derived quantities -----------------------------------------------------
 
@@ -54,7 +69,12 @@ class RunMetrics:
 
     @property
     def blocked_fraction(self) -> float:
-        """Fraction of scheduling ticks spent re-trying blocked operations."""
+        """Blocked waiting time relative to the makespan.
+
+        Waiting frames overlap, so the fraction can exceed 1.0 on heavily
+        contended runs — it is an aggregate waiting ratio, not a share of a
+        single timeline.
+        """
         if self.total_ticks == 0:
             return 0.0
         return self.blocked_ticks / self.total_ticks
@@ -78,6 +98,12 @@ class RunMetrics:
             "blocked_ticks": self.blocked_ticks,
             "invocations": self.invocations,
             "submitted": self.submitted,
+            "parks": self.parks,
+            "wakes": self.wakes,
+            "forced_wakes": self.forced_wakes,
+            "commit_parks": self.commit_parks,
+            "wait_ticks": self.wait_ticks,
+            "commit_wait_ticks": self.commit_wait_ticks,
             "throughput": self.throughput,
             "abort_rate": self.abort_rate,
             "blocked_fraction": self.blocked_fraction,

@@ -98,11 +98,24 @@ class HotspotWorkload:
             return _hot_name(self._rng.randrange(self.hot_objects))
         return _cold_name(self._rng.randrange(self.cold_objects))
 
+    def _reachable_registers(self) -> int:
+        """How many distinct registers accesses can land on at all."""
+        reachable = 0
+        if self.hot_probability > 0:
+            reachable += self.hot_objects
+        if self.hot_probability < 1:
+            reachable += self.cold_objects
+        return reachable
+
     def build_transactions(self) -> list[TransactionSpec]:
         specs: list[TransactionSpec] = []
+        # Degenerate contention settings (e.g. hot_probability=1.0 with two
+        # hot registers) cannot yield operations_per_transaction *distinct*
+        # names; cap the target so generation terminates.
+        distinct_target = min(self.operations_per_transaction, self._reachable_registers())
         for index in range(self.transactions):
             names: list[str] = []
-            while len(names) < self.operations_per_transaction:
+            while len(names) < distinct_target:
                 candidate = self._pick_register(index)
                 if candidate not in names:
                     names.append(candidate)

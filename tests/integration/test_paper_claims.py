@@ -30,11 +30,15 @@ def run(workload, scheduler_name, seed=0, **scheduler_kwargs):
 class TestClaimSingleActiveCurtailsParallelism:
     """Section 1: one active method per object 'severely curtails parallelism'."""
 
-    def test_makespan_ordering_on_mixed_workload(self):
+    def test_waiting_ordering_on_mixed_workload(self):
+        # Under the event-driven engine a parked frame consumes no ticks, so
+        # curtailed parallelism shows up as *waiting* — transactions spend
+        # more of the run parked behind coarse object locks — rather than as
+        # busy-wait ticks inflating the makespan.
         workload_seed = 21
         coarse = run(MixedWorkload(transactions=10, seed=workload_seed), "single-active")
         fine = run(MixedWorkload(transactions=10, seed=workload_seed), "n2pl")
-        assert coarse.metrics.total_ticks > fine.metrics.total_ticks
+        assert coarse.metrics.blocked_ticks > fine.metrics.blocked_ticks
         assert coarse.metrics.blocked_fraction > fine.metrics.blocked_fraction
 
 

@@ -84,17 +84,25 @@ class TestReleaseAndInheritance:
         manager = read_write_manager()
         assert manager.request("A", WriteVariable("x", 1), info("T1")).granted
         assert not manager.request("A", WriteVariable("x", 2), info("T2")).granted
-        released = manager.release_all("T1")
-        assert released == 1
+        freed = manager.release_all("T1")
+        assert freed == frozenset({"T1"})
+        assert manager.lock_count() == 0
         assert manager.request("A", WriteVariable("x", 2), info("T2")).granted
+
+    def test_release_all_without_locks_frees_nothing(self):
+        manager = read_write_manager()
+        # No wake-up key must be produced for an owner that held nothing:
+        # waking waiters on a no-op release would reintroduce busy polling.
+        assert manager.release_all("T1") == frozenset()
+        assert manager.transfer("T1.1", "T1") == frozenset()
 
     def test_transfer_moves_ownership_to_parent(self):
         manager = read_write_manager()
         parent = info("T1")
         child = child_of(parent, "T1.1", "A")
         assert manager.request("A", WriteVariable("x", 1), child).granted
-        moved = manager.transfer(child.execution_id, parent.execution_id)
-        assert moved == 1
+        freed = manager.transfer(child.execution_id, parent.execution_id)
+        assert freed == frozenset({"T1.1"})
         assert {entry.owner_id for entry in manager.holders("A")} == {"T1"}
         # After inheritance the parent's other child can acquire the lock
         # because the only conflicting holder is now its ancestor.
@@ -105,7 +113,7 @@ class TestReleaseAndInheritance:
         manager = read_write_manager()
         assert manager.request("A", WriteVariable("x", 1), info("T1.1", top_level="T1")).granted
         assert manager.request("B", WriteVariable("x", 1), info("T1.2", top_level="T1")).granted
-        assert manager.release_all_of(["T1.1", "T1.2"]) == 2
+        assert manager.release_all_of(["T1.1", "T1.2"]) == frozenset({"T1.1", "T1.2"})
         assert manager.lock_count() == 0
 
     def test_owners_listing(self):

@@ -142,6 +142,33 @@ class TestBasicExecution:
         )
         assert result.metrics.committed == 2
 
+    def test_round_robin_starts_with_the_first_frame_and_rotates_fairly(self):
+        # Regression: the cursor used to be incremented *before* indexing
+        # into the freshly rebuilt candidate list, so frame 0 was
+        # systematically skipped on every tick.
+        base = two_register_base()
+        result = run_engine(
+            base,
+            [
+                TransactionSpec("set_both", (1,)),
+                TransactionSpec("set_both", (2,)),
+                TransactionSpec("set_both", (3,)),
+            ],
+            scheduling="round-robin",
+            record_trace=True,
+        )
+        assert result.metrics.committed == 3
+        begin_ids = [event.execution_id for event in result.trace.of_kind("begin")]
+        first_advanced = next(
+            event for event in result.trace if event.kind not in ("begin",)
+        )
+        # The very first scheduling decision must pick the first submitted
+        # transaction (or its subtree), not the second.
+        first = begin_ids[0]
+        assert first_advanced.execution_id == first or first_advanced.execution_id.startswith(
+            first + "."
+        )
+
 
 class TestAbortAndRestart:
     class AbortFirstAttempt(Scheduler):
