@@ -1,0 +1,83 @@
+"""Diff the latest E12 sweep against the committed baseline.
+
+The E12 benchmark appends one row per configuration to
+``BENCH_e12_certification_scaling.json`` on every sweep, so the first
+recorded row per ``(scheduler, transactions)`` configuration is the
+committed baseline and the last is the sweep that just ran.  This script
+compares the two and *warns* (GitHub Actions ``::warning::`` annotations;
+exit code stays 0) when a configuration's indexed/incremental speedup over
+the legacy builders dropped by more than ``THRESHOLD`` — a
+machine-independent proxy for "the fast path got slower".  Run it as
+``python -m benchmarks.compare_bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_e12_certification_scaling.json"
+THRESHOLD = 1.30  # warn when a watched ratio degrades beyond 30%
+
+# Absolute wall times are machine-dependent (the committed baseline was
+# recorded on a different box than the CI runner), so the comparison
+# watches the *ratios* recorded within each sweep: the indexed and
+# incremental speedups over the legacy builders measured on the same
+# machine in the same process.  A >30% drop means the indexed path
+# regressed relative to the legacy yardstick, wherever the sweep ran.
+WATCHED = ("speedup_indexed", "speedup_incremental")
+
+
+def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str]]:
+    """Return ``(notices, warnings)``: file problems vs genuine regressions."""
+    if not path.exists():
+        return [f"no benchmark file at {path}; nothing to compare"], []
+    try:
+        rows = json.loads(path.read_text()).get("rows", [])
+    except ValueError:
+        return [f"unreadable benchmark file at {path}"], []
+    by_config: dict[tuple, list[dict]] = {}
+    for row in rows:
+        key = (row.get("scheduler"), row.get("transactions"))
+        by_config.setdefault(key, []).append(row)
+
+    warnings: list[str] = []
+    for (scheduler, transactions), config_rows in sorted(
+        by_config.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+    ):
+        if len(config_rows) < 2:
+            continue  # only the baseline sweep is recorded
+        baseline, latest = config_rows[0], config_rows[-1]
+        for column in WATCHED:
+            before = baseline.get(column)
+            after = latest.get(column)
+            if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+                continue
+            if before <= 0:
+                continue
+            degradation = before / max(after, 1e-9)
+            if degradation > THRESHOLD:
+                warnings.append(
+                    f"{scheduler}/{transactions} {column}: {before:.2f}x -> {after:.2f}x "
+                    f"({degradation:.2f}x drop, threshold {THRESHOLD:.2f}x)"
+                )
+    return [], warnings
+
+
+def main() -> int:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_JSON
+    notices, warnings = compare(path)
+    for message in notices:
+        print(f"E12 comparison skipped: {message}")
+    for message in warnings:
+        print(f"::warning::E12 speedup regression: {message}")
+    if warnings:
+        print(f"{len(warnings)} regression warning(s); see above.")
+    elif not notices:
+        print("E12 speedups within 30% of the committed baseline.")
+    return 0  # warn-only: never fail the build
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,10 +15,17 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.errors import IllegalHistoryError
-from ..core.graphs import serialisation_graph
+from ..core.graphs import (
+    incremental_serialisation_graph,
+    is_acyclic,
+    serialisation_graph,
+    serialisation_graph_legacy,
+)
 from ..core.history import History
-from ..core.theorems import execution_serial_order, is_serialisable, theorem_5_conditions
+from ..core.theorems import execution_serial_order, theorem_5_conditions
 from ..simulation.metrics import RunResult
+
+SG_MODES = ("indexed", "incremental", "legacy")
 
 
 @dataclass
@@ -56,8 +63,26 @@ class CertificationReport:
         }
 
 
-def certify_history(history: History, *, check_legality: bool = True) -> CertificationReport:
-    """Certify an arbitrary history (assumed already projected to committed work)."""
+def certify_history(
+    history: History,
+    *,
+    check_legality: bool = True,
+    sg_mode: str = "indexed",
+) -> CertificationReport:
+    """Certify an arbitrary history (assumed already projected to committed work).
+
+    ``sg_mode`` selects the serialisation-graph machinery:
+
+    * ``"indexed"`` (default) — the sorted-interval sweep builders; the
+      graph is built once and reused for the acyclicity test and the serial
+      order instead of being rebuilt per question;
+    * ``"incremental"`` — :class:`~repro.core.graphs.IncrementalSG` fed the
+      committed steps in temporal order (the certifier-shaped construction);
+    * ``"legacy"`` — the original from-scratch permutation builders,
+      retained for oracle cross-checks and the E12 benchmark baseline.
+    """
+    if sg_mode not in SG_MODES:
+        raise ValueError(f"unknown sg_mode {sg_mode!r}; expected one of {SG_MODES}")
     violations: list[str] = []
 
     legal = True
@@ -68,12 +93,20 @@ def certify_history(history: History, *, check_legality: bool = True) -> Certifi
             legal = False
             violations.append(f"legality: {error}")
 
-    graph = serialisation_graph(history)
-    serialisable = is_serialisable(history)
+    if sg_mode == "legacy":
+        graph = serialisation_graph_legacy(history)
+        serialisable = is_acyclic(graph)
+    elif sg_mode == "incremental":
+        incremental = incremental_serialisation_graph(history)
+        graph = incremental.graph
+        serialisable = incremental.is_acyclic
+    else:
+        graph = serialisation_graph(history)
+        serialisable = is_acyclic(graph)
     if not serialisable:
         violations.append("serialisation graph contains a cycle")
 
-    report5 = theorem_5_conditions(history)
+    report5 = theorem_5_conditions(history, legacy=sg_mode == "legacy")
     if not report5.holds:
         if report5.cyclic_objects:
             violations.append(
@@ -86,7 +119,7 @@ def certify_history(history: History, *, check_legality: bool = True) -> Certifi
 
     serial_order: tuple[str, ...] = ()
     if serialisable:
-        order = execution_serial_order(history)
+        order = execution_serial_order(history, graph=graph)
         serial_order = tuple(
             execution_id for execution_id in order if history.execution(execution_id).is_top_level
         )
@@ -105,7 +138,9 @@ def certify_history(history: History, *, check_legality: bool = True) -> Certifi
     )
 
 
-def certify_run(result: RunResult, *, check_legality: bool = True) -> CertificationReport:
+def certify_run(
+    result: RunResult, *, check_legality: bool = True, sg_mode: str = "indexed"
+) -> CertificationReport:
     """Certify the committed projection of a simulation run."""
     committed = result.committed_history()
-    return certify_history(committed, check_legality=check_legality)
+    return certify_history(committed, check_legality=check_legality, sg_mode=sg_mode)

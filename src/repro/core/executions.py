@@ -59,6 +59,9 @@ class MethodExecution:
         self._steps: dict[int, Step] = {}
         self._step_sequence: list[int] = []
         self._program_order: set[tuple[int, int]] = set()
+        # Memoised programme-order reachability; invalidated on mutation.
+        self._po_successors: dict[int, set[int]] | None = None
+        self._po_reachable: dict[int, set[int]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -100,6 +103,7 @@ class MethodExecution:
         self._step_sequence.append(step.step_id)
         for predecessor_id in predecessor_ids:
             self._program_order.add((predecessor_id, step.step_id))
+        self._invalidate_program_order_caches()
         return step
 
     def order_steps(self, first: Step | int, second: Step | int) -> None:
@@ -112,6 +116,11 @@ class MethodExecution:
                     f"step {step_id} is not part of execution {self.execution_id!r}"
                 )
         self._program_order.add((first_id, second_id))
+        self._invalidate_program_order_caches()
+
+    def _invalidate_program_order_caches(self) -> None:
+        self._po_successors = None
+        self._po_reachable.clear()
 
     # -- inspection -----------------------------------------------------------
 
@@ -144,25 +153,34 @@ class MethodExecution:
         return frozenset(self._program_order)
 
     def program_precedes(self, first: Step | int, second: Step | int) -> bool:
-        """True when ``first prec second`` holds in the transitive closure."""
+        """True when ``first prec second`` holds in the transitive closure.
+
+        Reachability is memoised per source step (and the successor
+        adjacency built once), so repeated queries — the serialisation-graph
+        builders ask about every message pair — cost ``O(1)`` after the
+        first one.
+        """
         first_id = first.step_id if isinstance(first, Step) else int(first)
         second_id = second.step_id if isinstance(second, Step) else int(second)
         if first_id == second_id:
             return False
-        successors: dict[int, set[int]] = {}
-        for before, after in self._program_order:
-            successors.setdefault(before, set()).add(after)
-        frontier = [first_id]
-        seen: set[int] = set()
-        while frontier:
-            current = frontier.pop()
-            for nxt in successors.get(current, ()):
-                if nxt == second_id:
-                    return True
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return False
+        reachable = self._po_reachable.get(first_id)
+        if reachable is None:
+            if self._po_successors is None:
+                successors: dict[int, set[int]] = {}
+                for before, after in self._program_order:
+                    successors.setdefault(before, set()).add(after)
+                self._po_successors = successors
+            reachable = set()
+            frontier = list(self._po_successors.get(first_id, ()))
+            while frontier:
+                current = frontier.pop()
+                if current in reachable:
+                    continue
+                reachable.add(current)
+                frontier.extend(self._po_successors.get(current, ()))
+            self._po_reachable[first_id] = reachable
+        return second_id in reachable
 
     def is_aborted(self) -> bool:
         """True when the execution contains an ``Abort`` local step."""

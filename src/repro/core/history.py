@@ -15,11 +15,24 @@ and the abort semantics of the "Transaction Failures" subsection.
 :class:`HistoryBuilder` offers a convenient, state-tracking way to construct
 legal histories — it is used throughout the tests and by the simulation
 engine, which records the history of every run it executes.
+
+A history is effectively frozen at construction (``_steps`` is snapshotted
+in ``__init__``), so :class:`History` also builds *persistent indexes* the
+certification machinery relies on: per-object local-step lists, a
+parent→children map, cached ancestor chains/sets, cached descendant
+tuples, and — for interval-backed histories — per-step-set sorted-interval
+sweeps that turn ``order_pairs`` and ordered-pair enumeration into
+``O(n log n + k)`` binary-search scans instead of ``O(n^2)`` permutations.
+The original permutation/uncached implementations are retained as
+``order_pairs_legacy``/``precedes_legacy`` and serve as oracles for the
+``check=True`` cross-checks in :mod:`repro.core.graphs` and the property
+tests.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from collections.abc import Iterable, Mapping
 from typing import Any
 
@@ -37,6 +50,22 @@ from .state import ObjectState
 
 AUTO = object()
 """Sentinel: let the :class:`HistoryBuilder` compute a step's return value."""
+
+
+def _interval_sweep_pairs(items: list[tuple[int, tuple[int, int]]]) -> set[tuple[int, int]]:
+    """All ordered pairs among ``(step_id, (start, end))`` items.
+
+    ``t < t'`` iff ``end(t) < start(t')``: sort by start instant, then for
+    each item every item whose start lies strictly after its end follows it
+    — a binary search per item, ``O(n log n + k)`` overall.
+    """
+    ordered = sorted(items, key=lambda item: item[1][0])
+    starts = [interval[0] for _, interval in ordered]
+    pairs: set[tuple[int, int]] = set()
+    for step_id, (_, end) in ordered:
+        for other_id, _ in ordered[bisect_right(starts, end):]:
+            pairs.add((step_id, other_id))
+    return pairs
 
 
 class History:
@@ -101,6 +130,26 @@ class History:
             if execution.invoking_step_id is not None:
                 self._children_by_step.setdefault(execution.invoking_step_id, execution.execution_id)
 
+        # Persistent indexes (histories are frozen at construction).
+        self._local_steps_by_object: dict[str, list[LocalStep]] = {}
+        for step in self._steps.values():
+            if isinstance(step, LocalStep):
+                self._local_steps_by_object.setdefault(step.object_name, []).append(step)
+        self._children_index: dict[str, list[str]] = {}
+        self._executions_by_object: dict[str, list[str]] = {}
+        for execution in self._executions.values():
+            if execution.parent_id is not None:
+                self._children_index.setdefault(execution.parent_id, []).append(
+                    execution.execution_id
+                )
+            self._executions_by_object.setdefault(execution.object_name, []).append(
+                execution.execution_id
+            )
+
+        self._ancestor_chain_cache: dict[str, tuple[str, ...]] = {}
+        self._ancestor_set_cache: dict[str, frozenset[str]] = {}
+        self._descendant_cache: dict[str, tuple[str, ...]] = {}
+        self._successors_cache: dict[int, set[int]] | None = None
         self._reachability_cache: dict[int, set[int]] = {}
         self._final_states_cache: dict[str, ObjectState] | None = None
 
@@ -132,10 +181,9 @@ class History:
         return self._steps[step_id]
 
     def local_steps(self, object_name: str | None = None) -> list[LocalStep]:
-        steps = [step for step in self._steps.values() if isinstance(step, LocalStep)]
         if object_name is not None:
-            steps = [step for step in steps if step.object_name == object_name]
-        return steps
+            return list(self._local_steps_by_object.get(object_name, ()))
+        return [step for step in self._steps.values() if isinstance(step, LocalStep)]
 
     def message_steps(self) -> list[MessageStep]:
         return [step for step in self._steps.values() if isinstance(step, MessageStep)]
@@ -165,39 +213,62 @@ class History:
         return self.execution(execution_id).parent_id
 
     def children_of(self, execution_id: str) -> list[str]:
-        return [
-            candidate.execution_id
-            for candidate in self._executions.values()
-            if candidate.parent_id == execution_id
-        ]
+        return list(self._children_index.get(execution_id, ()))
+
+    def executions_of_object(self, object_name: str) -> list[str]:
+        """Ids of the method executions belonging to the given object."""
+        return list(self._executions_by_object.get(object_name, ()))
 
     def ancestors(self, execution_id: str, include_self: bool = False) -> list[str]:
-        """Ancestors of the execution, nearest first."""
-        chain: list[str] = [execution_id] if include_self else []
-        seen = {execution_id}
-        current = self.execution(execution_id).parent_id
-        while current is not None:
-            if current in seen:
-                break  # cyclic ancestry; reported by check_legal
-            chain.append(current)
-            seen.add(current)
-            current = self._executions[current].parent_id if current in self._executions else None
-        return chain
+        """Ancestors of the execution, nearest first (chains are memoised)."""
+        chain = self._ancestor_chain_cache.get(execution_id)
+        if chain is None:
+            collected: list[str] = []
+            seen = {execution_id}
+            current = self.execution(execution_id).parent_id
+            while current is not None:
+                if current in seen:
+                    break  # cyclic ancestry; reported by check_legal
+                collected.append(current)
+                seen.add(current)
+                current = (
+                    self._executions[current].parent_id if current in self._executions else None
+                )
+            chain = tuple(collected)
+            self._ancestor_chain_cache[execution_id] = chain
+        if include_self:
+            return [execution_id, *chain]
+        return list(chain)
+
+    def _ancestor_set(self, execution_id: str) -> frozenset[str]:
+        cached = self._ancestor_set_cache.get(execution_id)
+        if cached is None:
+            cached = frozenset(self.ancestors(execution_id))
+            self._ancestor_set_cache[execution_id] = cached
+        return cached
 
     def descendants(self, execution_id: str, include_self: bool = True) -> list[str]:
-        result: list[str] = [execution_id] if include_self else []
-        frontier = [execution_id]
-        while frontier:
-            current = frontier.pop()
-            for child in self.children_of(current):
-                result.append(child)
-                frontier.append(child)
-        return result
+        cached = self._descendant_cache.get(execution_id)
+        if cached is None:
+            result: list[str] = [execution_id]
+            visited = {execution_id}
+            frontier = [execution_id]
+            while frontier:
+                current = frontier.pop()
+                for child in self._children_index.get(current, ()):
+                    if child in visited:
+                        continue  # cyclic ancestry; reported by check_legal
+                    visited.add(child)
+                    result.append(child)
+                    frontier.append(child)
+            cached = tuple(result)
+            self._descendant_cache[execution_id] = cached
+        return list(cached) if include_self else list(cached[1:])
 
     def is_ancestor(self, ancestor_id: str, descendant_id: str, proper: bool = False) -> bool:
         if ancestor_id == descendant_id:
             return not proper
-        return ancestor_id in self.ancestors(descendant_id)
+        return ancestor_id in self._ancestor_set(descendant_id)
 
     def are_comparable(self, first_id: str, second_id: str) -> bool:
         """True when one execution is a descendant of the other."""
@@ -236,7 +307,19 @@ class History:
     # ------------------------------------------------------------------
 
     def order_pairs(self) -> set[tuple[int, int]]:
-        """Generating pairs of ``<`` (derived from intervals when present)."""
+        """Generating pairs of ``<`` (derived from intervals when present).
+
+        For interval-backed histories the pairs are enumerated with a
+        sorted-interval sweep — ``O(n log n + k)`` for ``k`` ordered pairs —
+        instead of the quadratic permutation scan, which is retained as
+        :meth:`order_pairs_legacy` for cross-checking.
+        """
+        if self._intervals is None:
+            return set(self._order_pairs)
+        return _interval_sweep_pairs(list(self._intervals.items()))
+
+    def order_pairs_legacy(self) -> set[tuple[int, int]]:
+        """The original ``O(n^2)`` permutation enumeration (oracle only)."""
         if self._intervals is None:
             return set(self._order_pairs)
         pairs: set[tuple[int, int]] = set()
@@ -260,12 +343,44 @@ class History:
             return first_interval[1] < second_interval[0]
         return second_id in self._reachable_from(first_id)
 
-    def _reachable_from(self, step_id: int) -> set[int]:
-        if step_id in self._reachability_cache:
-            return self._reachability_cache[step_id]
+    def precedes_legacy(self, first: Step | int, second: Step | int) -> bool:
+        """Uncached reference implementation of ``precedes`` (oracle only)."""
+        first_id = first.step_id if isinstance(first, Step) else int(first)
+        second_id = second.step_id if isinstance(second, Step) else int(second)
+        if first_id == second_id:
+            return False
+        if self._intervals is not None:
+            first_interval = self._intervals.get(first_id)
+            second_interval = self._intervals.get(second_id)
+            if first_interval is None or second_interval is None:
+                return False
+            return first_interval[1] < second_interval[0]
         successors: dict[int, set[int]] = {}
         for before, after in self._order_pairs:
             successors.setdefault(before, set()).add(after)
+        reached: set[int] = set()
+        frontier = list(successors.get(first_id, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            frontier.extend(successors.get(current, ()))
+        return second_id in reached
+
+    def _successors(self) -> dict[int, set[int]]:
+        """Successor adjacency of the generating pairs (built once, cached)."""
+        if self._successors_cache is None:
+            successors: dict[int, set[int]] = {}
+            for before, after in self._order_pairs:
+                successors.setdefault(before, set()).add(after)
+            self._successors_cache = successors
+        return self._successors_cache
+
+    def _reachable_from(self, step_id: int) -> set[int]:
+        if step_id in self._reachability_cache:
+            return self._reachability_cache[step_id]
+        successors = self._successors()
         reached: set[int] = set()
         frontier = list(successors.get(step_id, ()))
         while frontier:
@@ -280,6 +395,64 @@ class History:
     def ordered(self, first: Step | int, second: Step | int) -> bool:
         """True when the two steps are related by ``<`` in either direction."""
         return self.precedes(first, second) or self.precedes(second, first)
+
+    def ordered_step_pairs(self, steps: list[Step]) -> Iterable[tuple[Step, Step]]:
+        """All pairs ``(t, t')`` among ``steps`` with ``t < t'``.
+
+        Interval-backed histories use the sorted-interval sweep (binary
+        search over start instants); order-pair histories fall back to the
+        pairwise reachability test.  Each ordered pair is yielded exactly
+        once.
+        """
+        if self._intervals is None:
+            for first, second in itertools.permutations(steps, 2):
+                if self.precedes(first, second):
+                    yield first, second
+            return
+        entries = sorted(
+            (
+                (self._intervals[step.step_id][0], step)
+                for step in steps
+                if step.step_id in self._intervals
+            ),
+            key=lambda entry: entry[0],
+        )
+        starts = [start for start, _ in entries]
+        by_start = [step for _, step in entries]
+        for _, step in entries:
+            end = self._intervals[step.step_id][1]
+            # start <= end for every interval, so the suffix never contains
+            # the step itself.
+            for later in by_start[bisect_right(starts, end):]:
+                yield step, later
+
+    def ordered_conflicting_pairs(
+        self, object_name: str
+    ) -> Iterable[tuple[LocalStep, LocalStep]]:
+        """Ordered pairs ``t < t'`` of the object's local steps with ``t`` conflicting with ``t'``."""
+        for first, second in self.ordered_step_pairs(self.local_steps(object_name)):
+            if self.conflicts.steps_conflict(first, second):
+                yield first, second
+
+    def projected_order_pairs(self, step_ids: Iterable[int]) -> set[tuple[int, int]]:
+        """The transitive order ``<`` restricted to the given step ids.
+
+        Used by committed projections of order-pair histories: simply
+        filtering the generating pairs would lose orderings that pass
+        *through* a dropped step, so the restriction is taken on the
+        transitive closure instead.
+        """
+        keep = set(step_ids)
+        if self._intervals is not None:
+            return _interval_sweep_pairs(
+                [(sid, interval) for sid, interval in self._intervals.items() if sid in keep]
+            )
+        pairs: set[tuple[int, int]] = set()
+        for first in keep:
+            for second in self._reachable_from(first):
+                if second in keep:
+                    pairs.add((first, second))
+        return pairs
 
     def step_descendant_steps(self, step: Step | int) -> set[int]:
         """All step ids that are descendants of the given step (inclusive).
@@ -311,10 +484,9 @@ class History:
         by_id = {step.step_id: step for step in steps}
         indegree = {step_id: 0 for step_id in by_id}
         successors: dict[int, list[int]] = {step_id: [] for step_id in by_id}
-        for first, second in itertools.permutations(steps, 2):
-            if self.precedes(first, second):
-                successors[first.step_id].append(second.step_id)
-                indegree[second.step_id] += 1
+        for first, second in self.ordered_step_pairs(steps):
+            successors[first.step_id].append(second.step_id)
+            indegree[second.step_id] += 1
         # Kahn's algorithm with deterministic tie-breaking on step id.
         ready = sorted(step_id for step_id, degree in indegree.items() if degree == 0)
         ordered: list[LocalStep] = []
@@ -493,9 +665,7 @@ class History:
         # 2c: orderings propagate to descendants.
         all_steps = list(self._steps.values())
         descendant_cache = {step.step_id: self.step_descendant_steps(step) for step in all_steps}
-        for first, second in itertools.permutations(all_steps, 2):
-            if not self.precedes(first, second):
-                continue
+        for first, second in self.ordered_step_pairs(all_steps):
             for first_descendant in descendant_cache[first.step_id]:
                 for second_descendant in descendant_cache[second.step_id]:
                     if first_descendant == first.step_id and second_descendant == second.step_id:

@@ -34,6 +34,9 @@ from .graphs import (
     is_acyclic,
     message_relation,
     serialisation_graph,
+    sg_local,
+    sg_local_legacy,
+    sg_mesg_legacy,
 )
 from .history import History
 from .operations import LocalStep, MessageStep, Step
@@ -71,10 +74,9 @@ def _random_topological_sort(
     remaining = {step.step_id: step for step in steps}
     indegree = {step.step_id: 0 for step in steps}
     successors: dict[int, list[int]] = {step.step_id: [] for step in steps}
-    for first, second in itertools.permutations(steps, 2):
-        if history.precedes(first, second):
-            successors[first.step_id].append(second.step_id)
-            indegree[second.step_id] += 1
+    for first, second in history.ordered_step_pairs(steps):
+        successors[first.step_id].append(second.step_id)
+        indegree[second.step_id] += 1
     ready = [step_id for step_id, degree in indegree.items() if degree == 0]
     ordered: list[LocalStep] = []
     while ready:
@@ -95,9 +97,13 @@ def _random_topological_sort(
 # ---------------------------------------------------------------------------
 
 
-def is_serialisable(history: History) -> bool:
-    """Sufficient condition of Theorem 2: ``SG(h)`` acyclic implies serialisable."""
-    return is_acyclic(serialisation_graph(history))
+def is_serialisable(history: History, *, graph: nx.DiGraph | None = None) -> bool:
+    """Sufficient condition of Theorem 2: ``SG(h)`` acyclic implies serialisable.
+
+    ``graph`` lets callers that already built ``SG(h)`` (the certification
+    pipeline) reuse it instead of rebuilding from scratch.
+    """
+    return is_acyclic(serialisation_graph(history) if graph is None else graph)
 
 
 def serialisation_cycle(history: History) -> list[tuple[str, str]] | None:
@@ -105,21 +111,24 @@ def serialisation_cycle(history: History) -> list[tuple[str, str]] | None:
     return find_cycle(serialisation_graph(history))
 
 
-def execution_serial_order(history: History) -> list[str]:
+def execution_serial_order(history: History, *, graph: nx.DiGraph | None = None) -> list[str]:
     """A total order of all executions compatible with ``SG(h)``.
 
     The order is produced exactly as in the proof of Theorem 2: siblings
     under each parent (and the top-level executions) are ordered by a
     topological sort of the serialisation graph restricted to them, and the
     ordering is inherited by descendants.  Raises :class:`ModelError` when
-    ``SG(h)`` is cyclic.
+    ``SG(h)`` is cyclic.  ``graph`` reuses a prebuilt ``SG(h)``.
     """
-    index = _serial_index(history)
+    index = _serial_index(history, graph=graph)
     return sorted(index, key=lambda execution_id: index[execution_id])
 
 
-def _serial_index(history: History) -> dict[str, tuple[int, ...]]:
-    graph = serialisation_graph(history)
+def _serial_index(
+    history: History, *, graph: nx.DiGraph | None = None
+) -> dict[str, tuple[int, ...]]:
+    if graph is None:
+        graph = serialisation_graph(history)
     if not is_acyclic(graph):
         raise ModelError("serialisation graph has a cycle; history may not be serialisable")
     index: dict[str, tuple[int, ...]] = {}
@@ -273,18 +282,32 @@ class Theorem5Report:
         return self.holds
 
 
-def theorem_5_conditions(history: History) -> Theorem5Report:
+def theorem_5_conditions(history: History, *, legacy: bool = False) -> Theorem5Report:
     """Evaluate conditions (a) and (b) of Theorem 5.
 
     (a) for every object ``o``, ``SG_local(h, o) union SG_mesg(h, o)`` is
         acyclic; (b) for every execution ``e`` the message relation ``->_e``
         is acyclic.  When both hold the history is serialisable.
+
+    The default path builds every ``SG_local`` exactly once and shares the
+    collection across all the per-object combined graphs (the legacy path
+    rebuilt each local graph once per object — quadratic in the number of
+    objects); ``legacy=True`` keeps the original from-scratch builders for
+    benchmarking and oracle cross-checks.
     """
     cyclic_objects: list[str] = []
     object_names = {execution.object_name for execution in history.executions.values()}
-    for object_name in sorted(object_names):
-        if not is_acyclic(combined_object_graph(history, object_name)):
-            cyclic_objects.append(object_name)
+    if legacy:
+        for object_name in sorted(object_names):
+            combined = _combined_object_graph_legacy(history, object_name)
+            if not is_acyclic(combined):
+                cyclic_objects.append(object_name)
+    else:
+        local_graphs = {object_name: sg_local(history, object_name) for object_name in object_names}
+        for object_name in sorted(object_names):
+            combined = combined_object_graph(history, object_name, local_graphs=local_graphs)
+            if not is_acyclic(combined):
+                cyclic_objects.append(object_name)
 
     cyclic_executions: list[str] = []
     for execution_id in sorted(history.execution_ids()):
@@ -293,6 +316,18 @@ def theorem_5_conditions(history: History) -> Theorem5Report:
 
     holds = not cyclic_objects and not cyclic_executions
     return Theorem5Report(holds, cyclic_objects, cyclic_executions)
+
+
+def _combined_object_graph_legacy(history: History, object_name: str) -> nx.DiGraph:
+    """Theorem 5(a) graph built with the legacy from-scratch builders."""
+    combined = nx.DiGraph()
+    local_graph = sg_local_legacy(history, object_name)
+    mesg_graph = sg_mesg_legacy(history, object_name)
+    combined.add_nodes_from(local_graph.nodes)
+    combined.add_nodes_from(mesg_graph.nodes)
+    combined.add_edges_from(local_graph.edges)
+    combined.add_edges_from(mesg_graph.edges)
+    return combined
 
 
 # ---------------------------------------------------------------------------

@@ -46,7 +46,9 @@ SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
     "nto": lambda **kwargs: NestedTimestampOrdering(level=kwargs.get("level", OPERATION_LEVEL)),
     "nto-step": lambda **kwargs: NestedTimestampOrdering(level=STEP_LEVEL),
     "single-active": lambda **kwargs: SingleActiveObjectScheduler(),
-    "certifier": lambda **kwargs: OptimisticCertifier(level=kwargs.get("level", STEP_LEVEL)),
+    "certifier": lambda **kwargs: OptimisticCertifier(
+        level=kwargs.get("level", STEP_LEVEL), check=kwargs.get("check", False)
+    ),
     "modular": lambda **kwargs: ModularScheduler(
         default_strategy=kwargs.get("default_strategy", "locking"),
         per_object_strategy=kwargs.get("per_object_strategy"),

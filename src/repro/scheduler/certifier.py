@@ -21,6 +21,19 @@ only whole transactions would miss cycles among the parallel children of
 a single nested transaction, whose sibling orders on different objects
 must also be mutually compatible.
 
+Validation is **incremental**: every executed step is classified exactly
+once, against the steps already recorded on its object
+(``on_operation_executed`` — cost proportional to the step's conflicting
+predecessors), and the resulting candidate edges are filed under both
+involved transactions.  A commit request then merely *selects* the filed
+edges whose other side has committed — it performs **zero** conflict-spec
+calls and never re-enumerates committed-vs-committed step pairs — and
+feeds them into the committed precedence graph with a DFS-based
+incremental cycle check (edges are added in place and rolled back on a
+cycle; the graph is never copied).  The original revalidate-everything
+implementation is retained as ``_precedence_edges_legacy`` and
+``check=True`` cross-checks every commit decision against it.
+
 The committed projection of any run is therefore serialisable, which the
 post-hoc certification in :mod:`repro.analysis` verifies.
 
@@ -42,7 +55,10 @@ from typing import Any
 
 import networkx as nx
 
+from ..core.errors import VerificationError
+from ..core.graphs import has_path
 from ..core.operations import LocalStep
+from ..core.values import freeze
 from ..objectbase.base import ObjectBase
 from .base import (
     OPERATION_LEVEL,
@@ -69,22 +85,47 @@ class _ExecutedStep:
         return self.info.top_level_id
 
 
+@dataclass(frozen=True)
+class _CandidateEdge:
+    """A sibling-level precedence edge discovered at step-execution time.
+
+    ``source``/``target`` are the disjoint ancestors the edge joins;
+    ``earlier_tx``/``later_tx`` own the two sides (earlier = the side whose
+    step executed first).  The edge becomes *active* for a committing
+    candidate once the other involved transaction has committed (or both
+    sides belong to the candidate itself).
+    """
+
+    source: str
+    target: str
+    earlier_tx: str
+    later_tx: str
+
+    def other(self, transaction_id: str) -> str:
+        return self.later_tx if self.earlier_tx == transaction_id else self.earlier_tx
+
+
 class OptimisticCertifier(Scheduler):
     """Execute-then-validate concurrency control (backward validation)."""
 
     name = "certifier"
 
-    def __init__(self, level: str = STEP_LEVEL):
+    def __init__(self, level: str = STEP_LEVEL, check: bool = False):
         super().__init__()
         if level not in (OPERATION_LEVEL, STEP_LEVEL):
             raise ValueError(f"unknown conflict level {level!r}")
         self.level = level
+        self.check = check
         self._sequence = itertools.count(1)
         self._steps_by_object: dict[str, list[_ExecutedStep]] = defaultdict(list)
         self._committed: set[str] = set()
         self._committed_graph = nx.DiGraph()
         self._nodes_by_transaction: dict[str, set[str]] = defaultdict(set)
+        self._pending_edges: dict[str, set[_CandidateEdge]] = defaultdict(set)
+        self._touched_objects: dict[str, set[str]] = defaultdict(set)
         self.validation_aborts = 0
+        self.classified_pairs = 0
+        self.commit_conflict_calls = 0
         self.gate = self._make_gate()
 
     def _make_gate(self) -> CommitGate:
@@ -98,7 +139,11 @@ class OptimisticCertifier(Scheduler):
         self._committed = set()
         self._committed_graph = nx.DiGraph()
         self._nodes_by_transaction = defaultdict(set)
+        self._pending_edges = defaultdict(set)
+        self._touched_objects = defaultdict(set)
         self.validation_aborts = 0
+        self.classified_pairs = 0
+        self.commit_conflict_calls = 0
         self.gate = self._make_gate()
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
@@ -113,9 +158,28 @@ class OptimisticCertifier(Scheduler):
         step = LocalStep(
             request.info.execution_id, request.object_name, request.operation, value
         )
-        self._steps_by_object[request.object_name].append(
-            _ExecutedStep(next(self._sequence), step, request.info)
-        )
+        record = _ExecutedStep(next(self._sequence), step, request.info)
+        records = self._steps_by_object[request.object_name]
+        # Classify the new step against the object's recorded suffix exactly
+        # once: every earlier step executed first, so only "earlier conflicts
+        # with later" can force an edge (the serialisation-graph rule).
+        for earlier in records:
+            self.classified_pairs += 1
+            if not self._conflicting(request.object_name, earlier.step, record.step):
+                continue
+            pair = disjoint_ancestors(earlier.info, record.info)
+            if pair is None:
+                continue  # comparable executions: no ordering constraint
+            edge = _CandidateEdge(pair[0], pair[1], earlier.transaction_id, record.transaction_id)
+            # A committed predecessor never revalidates (its file was popped
+            # at commit), so the edge is filed only under sides that can
+            # still reach validation.
+            if earlier.transaction_id not in self._committed:
+                self._pending_edges[earlier.transaction_id].add(edge)
+            if record.transaction_id != earlier.transaction_id:
+                self._pending_edges[record.transaction_id].add(edge)
+        records.append(record)
+        self._touched_objects[record.transaction_id].add(request.object_name)
         item = step if self.level == STEP_LEVEL else request.operation
         self.gate.record_step(request.object_name, item, request.info.top_level_id)
 
@@ -130,16 +194,28 @@ class OptimisticCertifier(Scheduler):
         spec = self.operation_conflicts[object_name]
         return spec.operations_conflict(earlier.operation, later.operation)
 
-    def _precedence_edges(
+    def _active_edges(self, candidate_id: str) -> list[_CandidateEdge]:
+        """The candidate's filed edges whose other side has resolved.
+
+        Pure selection over the pre-classified edge sets: no conflict-spec
+        calls, no step-pair enumeration.
+        """
+        active = []
+        for edge in self._pending_edges.get(candidate_id, ()):
+            other = edge.other(candidate_id)
+            if other == candidate_id or other in self._committed:
+                active.append(edge)
+        return active
+
+    def _precedence_edges_legacy(
         self, candidate_id: str
     ) -> tuple[set[tuple[str, str]], dict[str, str]]:
-        """Sibling-level edges the candidate adds, plus node ownership.
+        """The original full re-enumeration over every recorded step pair.
 
-        Every pair of conflicting steps of incomparable executions — where
-        at least one side belongs to the candidate and both sides belong to
-        resolved-or-candidate transactions — induces an edge between their
-        disjoint ancestors: top-level transactions when unrelated, sibling
-        executions inside the candidate when the conflict is internal.
+        Retained as the ``check=True`` oracle for the incremental edge
+        sets; its conflict-spec calls are counted separately so the
+        "no committed-vs-committed enumeration" unit test can tell the two
+        apart.
         """
         relevant = self._committed | {candidate_id}
         edges: set[tuple[str, str]] = set()
@@ -151,6 +227,7 @@ class OptimisticCertifier(Scheduler):
                 if candidate_id not in (first.transaction_id, second.transaction_id):
                     continue
                 earlier, later = (first, second) if first.sequence < second.sequence else (second, first)
+                self.commit_conflict_calls += 1
                 if not self._conflicting(object_name, earlier.step, later.step):
                     continue
                 pair = disjoint_ancestors(earlier.info, later.info)
@@ -161,6 +238,29 @@ class OptimisticCertifier(Scheduler):
                 owner_of[pair[1]] = later.transaction_id
         return edges, owner_of
 
+    def _check_against_legacy(self, candidate_id: str, active: list[_CandidateEdge]) -> None:
+        legacy_edges, legacy_owner_of = self._precedence_edges_legacy(candidate_id)
+        incremental_edges = {(edge.source, edge.target) for edge in active}
+        if incremental_edges != legacy_edges:
+            raise VerificationError(
+                f"certifier check: candidate {candidate_id!r} incremental edges "
+                f"{sorted(incremental_edges)!r} != legacy {sorted(legacy_edges)!r}"
+            )
+        owner_of = self._owner_map(active)
+        if owner_of != legacy_owner_of:
+            raise VerificationError(
+                f"certifier check: candidate {candidate_id!r} owner map diverges "
+                f"({owner_of!r} != {legacy_owner_of!r})"
+            )
+
+    @staticmethod
+    def _owner_map(active: list[_CandidateEdge]) -> dict[str, str]:
+        owner_of: dict[str, str] = {}
+        for edge in active:
+            owner_of[edge.source] = edge.earlier_tx
+            owner_of[edge.target] = edge.later_tx
+        return owner_of
+
     def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
         candidate_id = info.top_level_id
         # Recoverability first: wait out (or cascade on) live dependencies,
@@ -168,12 +268,33 @@ class OptimisticCertifier(Scheduler):
         gate_response = self.gate.check_commit(candidate_id)
         if not gate_response.granted:
             return gate_response
-        edges, owner_of = self._precedence_edges(candidate_id)
-        trial_graph = self._committed_graph.copy()
-        trial_graph.add_node(candidate_id)
-        trial_graph.add_edges_from(edges)
-        if nx.is_directed_acyclic_graph(trial_graph):
-            self._committed_graph = trial_graph
+        active = self._active_edges(candidate_id)
+        if self.check:
+            self._check_against_legacy(candidate_id, active)
+        # Trial insertion into the committed graph itself — no copy.  Each
+        # genuinely new edge runs a DFS reachability check first (a cycle
+        # must close at its last-inserted edge); on failure everything the
+        # trial added is rolled back.
+        graph = self._committed_graph
+        added_edges: list[tuple[str, str]] = []
+        added_nodes: list[str] = []
+        if candidate_id not in graph:
+            graph.add_node(candidate_id)
+            added_nodes.append(candidate_id)
+        cyclic = False
+        for source, target in sorted({(edge.source, edge.target) for edge in active}):
+            if graph.has_edge(source, target):
+                continue
+            if has_path(graph, target, source):
+                cyclic = True
+                break
+            for node in (source, target):
+                if node not in graph:
+                    added_nodes.append(node)
+            graph.add_edge(source, target)
+            added_edges.append((source, target))
+        if not cyclic:
+            owner_of = self._owner_map(active)
             for node, owner in owner_of.items():
                 # Ownership is only needed to clean up after an abort;
                 # committed owners can never abort, so don't index them.
@@ -181,24 +302,80 @@ class OptimisticCertifier(Scheduler):
                     self._nodes_by_transaction[owner].add(node)
             self._nodes_by_transaction[candidate_id].add(candidate_id)
             return SchedulerResponse.grant()
+        for source, target in added_edges:
+            graph.remove_edge(source, target)
+        for node in added_nodes:
+            graph.remove_node(node)
         self.validation_aborts += 1
         return SchedulerResponse.abort(
             "validation failed: committing would create a precedence cycle"
         )
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
-        self._committed.add(info.top_level_id)
+        transaction_id = info.top_level_id
+        self._committed.add(transaction_id)
         # The nodes stay in the committed graph; only the abort-cleanup
         # index is released (a committed transaction never aborts).
-        self._nodes_by_transaction.pop(info.top_level_id, None)
-        self._note_wakeups(self.gate.finish(info.top_level_id, committed=True))
+        self._nodes_by_transaction.pop(transaction_id, None)
+        # The transaction never revalidates, so its own edge file is done;
+        # edges shared with still-live peers remain filed under the peer.
+        self._pending_edges.pop(transaction_id, None)
+        for object_name in self._touched_objects.pop(transaction_id, ()):
+            self._prune_dominated_records(object_name)
+        self._note_wakeups(self.gate.finish(transaction_id, committed=True))
+
+    def _prune_dominated_records(self, object_name: str) -> None:
+        """Drop committed records dominated by an equivalent committed record.
+
+        A committed record is dominated when an earlier committed record of
+        the *same execution* carries the same operation signature and return
+        value: every future step classifies identically against the two
+        (same conflict verdicts, same disjoint-ancestor pair, same owners),
+        so the duplicate can never contribute a new edge.
+        """
+        records = self._steps_by_object.get(object_name)
+        if not records:
+            return
+        seen: set[tuple] = set()
+        kept: list[_ExecutedStep] = []
+        for record in records:
+            if record.transaction_id in self._committed:
+                key = self._domination_key(record)
+                if key is not None:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+            kept.append(record)
+        if len(kept) != len(records):
+            records[:] = kept
+
+    @staticmethod
+    def _domination_key(record: _ExecutedStep) -> tuple | None:
+        try:
+            return (
+                record.step.execution_id,
+                record.step.operation.signature(),
+                freeze(record.step.return_value),
+            )
+        except TypeError:
+            return None  # unhashable payloads: keep the record
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         transaction_id = info.top_level_id
-        for records in self._steps_by_object.values():
-            records[:] = [record for record in records if record.transaction_id != transaction_id]
+        # Abort cleanup touches only the objects the transaction used.
+        for object_name in self._touched_objects.pop(transaction_id, ()):
+            records = self._steps_by_object.get(object_name)
+            if records:
+                records[:] = [
+                    record for record in records if record.transaction_id != transaction_id
+                ]
+        # Un-file the aborted transaction's candidate edges on both sides.
+        for edge in self._pending_edges.pop(transaction_id, ()):
+            other = edge.other(transaction_id)
+            if other != transaction_id and other in self._pending_edges:
+                self._pending_edges[other].discard(edge)
         if transaction_id not in self._committed:
-            # A failed candidate never merged its trial graph, but edges
+            # A failed candidate never merged its trial edges, but edges
             # *touching* it may have been added by later-validating peers;
             # drop every node the aborted transaction owns.
             for node in self._nodes_by_transaction.pop(transaction_id, set()):
@@ -216,5 +393,7 @@ class OptimisticCertifier(Scheduler):
             "level": self.level,
             "validation_aborts": self.validation_aborts,
             "committed": len(self._committed),
+            "classified_pairs": self.classified_pairs,
+            "commit_conflict_calls": self.commit_conflict_calls,
             **self.gate.describe(),
         }

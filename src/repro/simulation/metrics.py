@@ -124,7 +124,15 @@ class RunResult:
     trace: Trace | None = None
 
     def committed_history(self) -> History:
-        """The committed projection: aborted transaction subtrees removed."""
+        """The committed projection: aborted transaction subtrees removed.
+
+        Interval-backed histories (everything the engine records) keep the
+        surviving intervals verbatim — the temporal order is never
+        materialised as explicit pairs.  Order-pair histories restrict the
+        *transitive* order to the surviving steps
+        (:meth:`~repro.core.history.History.projected_order_pairs`), so
+        orderings that passed through a dropped step are preserved.
+        """
         surviving = [
             execution
             for execution_id, execution in self.history.executions.items()
@@ -134,19 +142,23 @@ class RunResult:
         surviving_step_ids = {
             step.step_id for execution in surviving for step in execution.steps()
         }
-        kept_intervals = None
         if intervals is not None:
             kept_intervals = {
                 step_id: interval
                 for step_id, interval in intervals.items()
                 if step_id in surviving_step_ids
             }
+            return History(
+                surviving,
+                self.history.initial_states,
+                conflicts=self.history.conflicts,
+                intervals=kept_intervals,
+            )
         return History(
             surviving,
             self.history.initial_states,
             conflicts=self.history.conflicts,
-            intervals=kept_intervals,
-            order_pairs=None if kept_intervals is not None else self.history.order_pairs(),
+            order_pairs=self.history.projected_order_pairs(surviving_step_ids),
         )
 
     def final_states(self) -> dict[str, Any]:

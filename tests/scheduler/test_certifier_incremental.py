@@ -1,0 +1,228 @@
+"""Unit tests for the incremental certifier validation path (PR 2).
+
+The optimistic certifier now classifies every executed step exactly once
+— against the steps already recorded on its object — and files the
+resulting sibling-level candidate edges under both involved transactions.
+Commit validation merely *selects* the filed edges whose other side has
+resolved: it performs zero conflict-spec calls and never re-enumerates
+committed-vs-committed step pairs.  These tests pin that contract down by
+counting conflict-spec calls per lifecycle phase, and exercise the
+touched-object abort cleanup, the dominated-record pruning, and the
+``check=True`` oracle that revalidates every commit against the legacy
+full re-enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objectbase.adts.register import ReadRegister, WriteRegister
+from repro.scheduler import OptimisticCertifier, make_scheduler
+from repro.scheduler.base import Decision
+from repro.simulation import HotspotWorkload, SimulationEngine
+
+from tests.scheduler.conftest import info, request
+
+
+def make_certifier(base, **kwargs):
+    scheduler = OptimisticCertifier(**kwargs)
+    scheduler.attach(base)
+    return scheduler
+
+
+def run_step(scheduler, issuer, object_name, operation, value):
+    operation_request = request(issuer, object_name, operation, value)
+    assert scheduler.on_operation(operation_request).granted
+    scheduler.on_operation_executed(operation_request, value)
+
+
+class _ConflictCounter:
+    """Wrap ``scheduler._conflicting`` and count calls per phase."""
+
+    def __init__(self, scheduler):
+        self.calls = 0
+        self._original = scheduler._conflicting
+        scheduler._conflicting = self._count
+
+    def _count(self, object_name, earlier, later):
+        self.calls += 1
+        return self._original(object_name, earlier, later)
+
+    def take(self) -> int:
+        taken, self.calls = self.calls, 0
+        return taken
+
+
+class TestCommitValidationIsIncremental:
+    def test_commit_makes_zero_conflict_spec_calls(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        counter = _ConflictCounter(scheduler)
+        for index in range(1, 9):
+            issuer = info(f"T{index}")
+            scheduler.on_transaction_begin(issuer)
+            run_step(scheduler, issuer, "cell", WriteRegister(index), index)
+            run_step(scheduler, issuer, "other-cell", WriteRegister(index), index)
+            executed_calls = counter.take()
+            # Classification happens at execution time, once per earlier
+            # record on the touched objects — never at commit.
+            assert executed_calls >= 0
+            assert scheduler.on_commit_request(issuer).granted
+            assert counter.take() == 0, "commit validation must not call the conflict spec"
+            scheduler.on_transaction_commit(issuer)
+            assert counter.take() == 0
+
+    def test_classification_cost_tracks_object_suffix_not_history(self, small_object_base):
+        # With pruning, each committed (transaction, operation) leaves one
+        # record per object, so the classification cost of a new step stays
+        # bounded by the object's distinct committed footprint — but the
+        # essential assertion is that validation cost at commit is zero and
+        # execution-time classification touches only same-object records.
+        scheduler = make_certifier(small_object_base)
+        counter = _ConflictCounter(scheduler)
+        for index in range(1, 6):
+            issuer = info(f"T{index}")
+            scheduler.on_transaction_begin(issuer)
+            run_step(scheduler, issuer, "cell", WriteRegister(index), index)
+            calls_on_cell = counter.take()
+            # Exactly one classification per earlier record on "cell".
+            assert calls_on_cell == len(scheduler._steps_by_object["cell"]) - 1
+            run_step(scheduler, issuer, "other-cell", WriteRegister(index), index)
+            counter.take()
+            assert scheduler.on_commit_request(issuer).granted
+            assert counter.take() == 0
+            scheduler.on_transaction_commit(issuer)
+
+    def test_cyclic_conflicts_still_abort_at_validation(self, small_object_base):
+        scheduler = make_certifier(small_object_base, check=True)
+        first, second = info("T1"), info("T2")
+        run_step(scheduler, first, "cell", WriteRegister(1), 1)
+        run_step(scheduler, second, "cell", WriteRegister(2), 2)
+        run_step(scheduler, second, "other-cell", WriteRegister(2), 2)
+        run_step(scheduler, first, "other-cell", WriteRegister(1), 1)
+        assert scheduler.on_commit_request(first).granted
+        scheduler.on_transaction_commit(first)
+        response = scheduler.on_commit_request(second)
+        assert response.decision is Decision.ABORT
+        assert scheduler.validation_aborts == 1
+
+    def test_failed_validation_rolls_the_committed_graph_back(self, small_object_base):
+        scheduler = make_certifier(small_object_base, check=True)
+        first, second, third = info("T1"), info("T2"), info("T3")
+        run_step(scheduler, first, "cell", WriteRegister(1), 1)
+        run_step(scheduler, second, "cell", WriteRegister(2), 2)
+        run_step(scheduler, second, "other-cell", WriteRegister(2), 2)
+        run_step(scheduler, first, "other-cell", WriteRegister(1), 1)
+        assert scheduler.on_commit_request(first).granted
+        scheduler.on_transaction_commit(first)
+        snapshot_nodes = set(scheduler._committed_graph.nodes)
+        snapshot_edges = set(scheduler._committed_graph.edges)
+        assert scheduler.on_commit_request(second).decision is Decision.ABORT
+        # The failed trial left no residue in the committed graph.
+        assert set(scheduler._committed_graph.nodes) == snapshot_nodes
+        assert set(scheduler._committed_graph.edges) == snapshot_edges
+        scheduler.on_transaction_abort(second, ("T2",))
+        # An unrelated transaction still validates cleanly afterwards.
+        run_step(scheduler, third, "cell", WriteRegister(3), 3)
+        assert scheduler.on_commit_request(third).granted
+
+
+class TestAbortCleanupAndPruning:
+    def test_abort_rebuilds_only_touched_objects(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        first, second = info("T1"), info("T2")
+        run_step(scheduler, first, "cell", WriteRegister(1), 1)
+        run_step(scheduler, second, "other-cell", WriteRegister(2), 2)
+        untouched = scheduler._steps_by_object["other-cell"]
+        untouched_before = list(untouched)
+        scheduler.on_transaction_abort(first, ("T1",))
+        assert scheduler._steps_by_object["cell"] == []
+        # The untouched object's record list was not rebuilt (same items).
+        assert scheduler._steps_by_object["other-cell"] == untouched_before
+        assert "T1" not in scheduler._touched_objects
+
+    def test_abort_unfiles_candidate_edges_on_both_sides(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        first, second = info("T1"), info("T2")
+        run_step(scheduler, first, "cell", WriteRegister(1), 1)
+        run_step(scheduler, second, "cell", WriteRegister(2), 2)
+        assert scheduler._pending_edges["T1"] and scheduler._pending_edges["T2"]
+        scheduler.on_transaction_abort(second, ("T2",))
+        assert "T2" not in scheduler._pending_edges
+        assert not scheduler._pending_edges["T1"]
+        # T1 validates with no stale edges against the aborted peer.
+        assert scheduler.on_commit_request(first).granted
+
+    def test_committed_duplicate_records_are_pruned(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        issuer = info("T1")
+        # The same execution re-reads the register: identical operation,
+        # identical return value — the duplicate can never contribute a new
+        # edge once T1 has committed.
+        run_step(scheduler, issuer, "cell", ReadRegister(), 0)
+        run_step(scheduler, issuer, "cell", ReadRegister(), 0)
+        run_step(scheduler, issuer, "cell", WriteRegister(5), 5)
+        assert len(scheduler._steps_by_object["cell"]) == 3
+        assert scheduler.on_commit_request(issuer).granted
+        scheduler.on_transaction_commit(issuer)
+        records = scheduler._steps_by_object["cell"]
+        assert len(records) == 2  # one read survives, the write survives
+        assert [record.step.operation.name for record in records] == [
+            "ReadRegister",
+            "WriteRegister",
+        ]
+
+    def test_live_records_are_never_pruned(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        committed, live = info("T1"), info("T2")
+        run_step(scheduler, committed, "cell", ReadRegister(), 0)
+        run_step(scheduler, live, "cell", ReadRegister(), 0)
+        run_step(scheduler, live, "cell", ReadRegister(), 0)
+        assert scheduler.on_commit_request(committed).granted
+        scheduler.on_transaction_commit(committed)
+        live_records = [
+            record
+            for record in scheduler._steps_by_object["cell"]
+            if record.transaction_id == "T2"
+        ]
+        assert len(live_records) == 2
+
+
+class TestLegacyOracle:
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1111])
+    def test_engine_runs_validate_against_legacy(self, seed):
+        # check=True revalidates every commit decision against the original
+        # full re-enumeration and raises VerificationError on divergence.
+        base, specs = HotspotWorkload(
+            transactions=16,
+            hot_objects=2,
+            cold_objects=6,
+            operations_per_transaction=3,
+            hot_probability=0.5,
+            seed=seed,
+        ).build()
+        scheduler = make_scheduler("certifier", check=True)
+        engine = SimulationEngine(base, scheduler, seed=seed)
+        engine.submit_all(specs)
+        result = engine.run()
+        from repro.analysis import certify_run
+
+        report = certify_run(result, check_legality=False)
+        assert report.serialisable
+
+    def test_check_flag_reaches_factory(self):
+        scheduler = make_scheduler("certifier", check=True)
+        assert scheduler.check is True
+        assert make_scheduler("certifier").check is False
+
+    def test_describe_reports_incremental_counters(self, small_object_base):
+        scheduler = make_certifier(small_object_base)
+        description = scheduler.describe()
+        assert description["classified_pairs"] == 0
+        assert description["commit_conflict_calls"] == 0
+        issuer = info("T1")
+        run_step(scheduler, issuer, "cell", WriteRegister(1), 1)
+        run_step(scheduler, issuer, "cell", WriteRegister(2), 2)
+        assert scheduler.describe()["classified_pairs"] == 1
+        assert scheduler.on_commit_request(issuer).granted
+        # Without check mode the legacy path never runs at commit.
+        assert scheduler.describe()["commit_conflict_calls"] == 0
