@@ -17,14 +17,13 @@ performance trajectory is recorded run over run.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 from repro.scheduler import make_scheduler
 from repro.simulation import HotspotWorkload, SimulationEngine
 
-from .harness import print_experiment
+from .harness import append_bench_rows, print_experiment
 
 COLUMNS = [
     "undo", "wall_seconds", "aborts", "wasted_steps", "local_steps",
@@ -73,16 +72,7 @@ def run_experiment() -> list[dict]:
 
 def write_bench_json(rows: list[dict], path: Path = BENCH_JSON) -> None:
     """Append this sweep's rows to the recorded trajectory."""
-    recorded: list[dict] = []
-    if path.exists():
-        try:
-            recorded = json.loads(path.read_text()).get("rows", [])
-        except (ValueError, AttributeError):
-            recorded = []
-    recorded.extend(rows)
-    path.write_text(
-        json.dumps({"experiment": "e11_abort_heavy", "rows": recorded}, indent=2) + "\n"
-    )
+    append_bench_rows(path, "e11_abort_heavy", rows)
 
 
 def test_e11_abort_heavy(benchmark):

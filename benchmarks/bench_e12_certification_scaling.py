@@ -20,7 +20,6 @@ and warns on >30% wall-time regressions (``benchmarks/compare_bench.py``).
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -28,7 +27,7 @@ from repro.analysis import certify_history
 from repro.scheduler import make_scheduler
 from repro.simulation import HotspotWorkload, SimulationEngine
 
-from .harness import print_experiment
+from .harness import append_bench_rows, print_experiment
 
 COLUMNS = [
     "scheduler", "transactions", "committed", "committed_steps",
@@ -115,17 +114,7 @@ def run_experiment() -> list[dict]:
 
 def write_bench_json(rows: list[dict], path: Path = BENCH_JSON) -> None:
     """Append this sweep's rows to the recorded trajectory."""
-    recorded: list[dict] = []
-    if path.exists():
-        try:
-            recorded = json.loads(path.read_text()).get("rows", [])
-        except (ValueError, AttributeError):
-            recorded = []
-    recorded.extend(rows)
-    path.write_text(
-        json.dumps({"experiment": "e12_certification_scaling", "rows": recorded}, indent=2)
-        + "\n"
-    )
+    append_bench_rows(path, "e12_certification_scaling", rows)
 
 
 def test_e12_certification_scaling(benchmark):

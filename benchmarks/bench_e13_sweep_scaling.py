@@ -1,0 +1,134 @@
+"""E13 — sweep fan-out scaling: serial vs multiprocessing wall-clock.
+
+PR 3 introduced the declarative sweep subsystem (:mod:`repro.sweep`).
+This benchmark drives its headline guarantees on a 16-scenario hotspot
+contention grid (4 contention levels × 4 schedulers):
+
+1. **determinism** — the 4-worker multiprocessing run must produce
+   metrics rows *identical* to the serial run of the same seeded
+   :class:`~repro.sweep.spec.SweepSpec` (asserted unconditionally);
+2. **scaling** — with 4 workers the sweep should complete in at most
+   ``SPEEDUP_TARGET`` (0.6×) of the serial wall-clock.  The speedup is a
+   hardware fact, so the assertion is gated on the cores actually
+   available: enforced at ≥4 CPUs, relaxed to ``RELAXED_TARGET`` at 2-3
+   CPUs, and recorded-but-not-asserted on single-core hosts (where a
+   CPU-bound fan-out cannot beat serial by construction).  The measured
+   wall-clocks, the speedup and the host's CPU count are appended to
+   ``BENCH_e13_sweep_scaling.json`` either way, so the recorded
+   trajectory always states the hardware it was measured on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.sweep import Axis, ScenarioSpec, SweepRunner, SweepSpec, sweep_report
+
+from .harness import append_bench_rows, print_experiment
+
+WORKERS = 4
+SPEEDUP_TARGET = 0.6  # parallel wall-clock as a fraction of serial, ≥4 CPUs
+RELAXED_TARGET = 0.85  # 2-3 CPUs: some speedup must still materialise
+
+HOT_PROBABILITIES = (0.05, 0.1, 0.2, 0.3)
+SCHEDULERS = ("n2pl", "n2pl-step", "nto", "single-active")
+
+COLUMNS = [
+    "scenarios", "workers", "cpu_count", "serial_seconds", "parallel_seconds",
+    "parallel_fraction", "speedup", "rows_identical",
+]
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e13_sweep_scaling.json"
+
+SWEEP = SweepSpec(
+    name="e13_sweep_scaling",
+    base=ScenarioSpec(
+        workload="hotspot",
+        scheduler="n2pl",
+        seed=1313,
+        workload_params={
+            "transactions": 28,
+            "hot_objects": 3,
+            "cold_objects": 48,
+            "operations_per_transaction": 4,
+            "seed": 1313,
+        },
+    ),
+    axes=(
+        Axis("hot_probability", HOT_PROBABILITIES, target="workload_params.hot_probability"),
+        Axis("scheduler", SCHEDULERS),
+    ),
+)
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def run_experiment() -> list[dict]:
+    started = time.perf_counter()
+    serial_rows = SweepRunner(SWEEP, workers=0).run_rows()
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_rows = SweepRunner(SWEEP, workers=WORKERS).run_rows()
+    parallel_seconds = time.perf_counter() - started
+
+    row = {
+        "experiment": "e13_sweep_scaling",
+        "scenarios": len(SWEEP),
+        "workers": WORKERS,
+        "cpu_count": _cpu_count(),
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "parallel_fraction": round(parallel_seconds / max(serial_seconds, 1e-9), 4),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "rows_identical": serial_rows == parallel_rows,
+        "grid": sweep_report(
+            SWEEP.name,
+            serial_rows,
+            group_by=("scheduler",),
+            metrics=("committed", "aborts", "makespan"),
+        ),
+    }
+    return [row]
+
+
+def write_bench_json(rows: list[dict], path: Path = BENCH_JSON) -> None:
+    """Append this run's measurement to the recorded trajectory."""
+    append_bench_rows(path, "e13_sweep_scaling", rows)
+
+
+def test_e13_sweep_scaling(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E13: sweep fan-out — serial vs 4-worker wall-clock", rows, COLUMNS)
+    write_bench_json(rows)
+    row = rows[0]
+    # Determinism is hardware-independent: always enforced.
+    assert row["rows_identical"], "parallel sweep rows diverged from the serial run"
+    # Scaling is a hardware fact: enforce the 0.6x target where 4 workers can
+    # actually run concurrently, a relaxed target on 2-3 cores, and record
+    # without asserting on single-core hosts.
+    if row["cpu_count"] >= WORKERS:
+        assert row["parallel_fraction"] <= SPEEDUP_TARGET, (
+            f"4-worker sweep took {row['parallel_fraction']:.2f}x of serial "
+            f"(target <= {SPEEDUP_TARGET}) on {row['cpu_count']} CPUs"
+        )
+    elif row["cpu_count"] >= 2:
+        assert row["parallel_fraction"] <= RELAXED_TARGET, (
+            f"4-worker sweep took {row['parallel_fraction']:.2f}x of serial "
+            f"(relaxed target <= {RELAXED_TARGET}) on {row['cpu_count']} CPUs"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
+    experiment_rows = run_experiment()
+    print_experiment(
+        "E13: sweep fan-out — serial vs 4-worker wall-clock", experiment_rows, COLUMNS
+    )
+    write_bench_json(experiment_rows)

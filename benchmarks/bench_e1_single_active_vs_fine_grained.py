@@ -4,14 +4,15 @@ Paper claim (Section 1): requiring one active method execution per object
 "has the virtue of simplicity" but sacrifices the concurrency the
 object-base model permits.  We sweep the number of concurrent transactions
 on the B-tree index workload and compare the coarse baseline against
-fine-grained N2PL and NTO.
+fine-grained N2PL and NTO.  The grid is a declarative
+:class:`~repro.sweep.spec.SweepSpec` driven by the shared sweep runner.
 """
 
 from __future__ import annotations
 
-from repro.simulation import BTreeWorkload
+from repro.sweep import Axis, ScenarioSpec, SweepSpec
 
-from .harness import print_experiment, run_configuration
+from .harness import print_experiment, run_sweep_rows
 
 SCHEDULERS = ["single-active", "n2pl", "nto", "certifier"]
 TRANSACTION_COUNTS = [8, 16, 32]
@@ -20,18 +21,23 @@ COLUMNS = [
     "aborts", "throughput", "serialisable",
 ]
 
+SWEEP = SweepSpec(
+    name="e1_single_active_vs_fine_grained",
+    base=ScenarioSpec(
+        workload="btree",
+        scheduler="single-active",
+        seed=101,
+        workload_params={"operations_per_transaction": 4, "seed": 101},
+    ),
+    axes=(
+        Axis("transactions", TRANSACTION_COUNTS, target="workload_params.transactions"),
+        Axis("scheduler", SCHEDULERS),
+    ),
+)
+
 
 def run_experiment() -> list[dict]:
-    rows = []
-    for transactions in TRANSACTION_COUNTS:
-        for scheduler_name in SCHEDULERS:
-            workload = BTreeWorkload(
-                transactions=transactions, operations_per_transaction=4, seed=101
-            )
-            row = run_configuration(workload, scheduler_name, seed=101)
-            row["transactions"] = transactions
-            rows.append(row)
-    return rows
+    return run_sweep_rows(SWEEP)
 
 
 def test_e1_single_active_vs_fine_grained(benchmark):

@@ -3,32 +3,43 @@
 Paper context (Section 5): both algorithms are correct; they differ in how
 they resolve conflicts — N2PL delays and may deadlock, NTO aborts and
 restarts.  We sweep the hot-spot probability and report makespan, blocking
-and abort behaviour for both.
+and abort behaviour for both, via a declarative
+:class:`~repro.sweep.spec.SweepSpec`.
 """
 
 from __future__ import annotations
 
-from repro.simulation import HotspotWorkload
+from repro.sweep import Axis, ScenarioSpec, SweepSpec
 
-from .harness import print_experiment, run_configuration
+from .harness import print_experiment, run_sweep_rows
 
 HOT_PROBABILITIES = [0.1, 0.5, 0.9]
 SCHEDULERS = ["n2pl", "nto", "n2pl-step", "nto-step"]
 COLUMNS = ["hot_probability", "scheduler", "makespan", "blocked_ticks", "aborts", "deadlocks", "ts_aborts", "serialisable"]
 
+SWEEP = SweepSpec(
+    name="e3_n2pl_vs_nto_contention",
+    base=ScenarioSpec(
+        workload="hotspot",
+        scheduler="n2pl",
+        seed=303,
+        workload_params={
+            "transactions": 16,
+            "hot_objects": 2,
+            "cold_objects": 24,
+            "operations_per_transaction": 3,
+            "seed": 303,
+        },
+    ),
+    axes=(
+        Axis("hot_probability", HOT_PROBABILITIES, target="workload_params.hot_probability"),
+        Axis("scheduler", SCHEDULERS),
+    ),
+)
+
 
 def run_experiment() -> list[dict]:
-    rows = []
-    for hot_probability in HOT_PROBABILITIES:
-        for scheduler_name in SCHEDULERS:
-            workload = HotspotWorkload(
-                transactions=16, hot_objects=2, cold_objects=24,
-                operations_per_transaction=3, hot_probability=hot_probability, seed=303,
-            )
-            row = run_configuration(workload, scheduler_name, seed=303)
-            row["hot_probability"] = hot_probability
-            rows.append(row)
-    return rows
+    return run_sweep_rows(SWEEP)
 
 
 def test_e3_n2pl_vs_nto_contention(benchmark):

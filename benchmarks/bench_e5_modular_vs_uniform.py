@@ -5,33 +5,53 @@ best suited to its semantics (B-tree key locking for the catalogue,
 step-level queue locking, commuting counter updates) enhances concurrency
 relative to treating every object uniformly and coarsely, while the
 inter-object conditions of Theorem 5 keep the run serialisable.
+
+The three configurations are coupled scheduler+kwargs choices, so the
+sweep uses explicit :class:`~repro.sweep.spec.AxisPoint` overrides; the
+modular configuration asks the built workload for its per-object strategy
+map in-worker (``modular_strategy_from_workload``).
 """
 
 from __future__ import annotations
 
-from repro.simulation import MixedWorkload
+from repro.sweep import Axis, AxisPoint, ScenarioSpec, SweepSpec
 
-from .harness import print_experiment, run_configuration
+from .harness import print_experiment, run_sweep_rows
 
 COLUMNS = ["configuration", "makespan", "blocked_ticks", "blocked_fraction", "aborts", "throughput", "serialisable"]
 
+SWEEP = SweepSpec(
+    name="e5_modular_vs_uniform",
+    base=ScenarioSpec(
+        workload="mixed",
+        scheduler="single-active",
+        seed=404,
+        workload_params={"customers": 8, "transactions": 24, "seed": 404},
+    ),
+    axes=(
+        Axis(
+            "configuration",
+            (
+                AxisPoint(
+                    "single-active (coarse baseline)",
+                    {"scheduler": "single-active"},
+                ),
+                AxisPoint(
+                    "uniform n2pl (operation locks)",
+                    {"scheduler": "n2pl"},
+                ),
+                AxisPoint(
+                    "modular: per-object algorithms + Theorem 5 coordinator",
+                    {"scheduler": "modular", "modular_strategy_from_workload": True},
+                ),
+            ),
+        ),
+    ),
+)
+
 
 def run_experiment() -> list[dict]:
-    rows = []
-    workload_seed = 404
-    configurations = [
-        ("single-active (coarse baseline)", "single-active", {}),
-        ("uniform n2pl (operation locks)", "n2pl", {}),
-        ("modular: per-object algorithms + Theorem 5 coordinator", "modular", None),
-    ]
-    for label, scheduler_name, kwargs in configurations:
-        workload = MixedWorkload(customers=8, transactions=24, seed=workload_seed)
-        if kwargs is None:
-            kwargs = {"per_object_strategy": workload.modular_strategy_map()}
-        row = run_configuration(workload, scheduler_name, seed=workload_seed, scheduler_kwargs=kwargs)
-        row["configuration"] = label
-        rows.append(row)
-    return rows
+    return run_sweep_rows(SWEEP)
 
 
 def test_e5_modular_vs_uniform(benchmark):

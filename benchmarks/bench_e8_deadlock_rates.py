@@ -3,32 +3,43 @@
 Paper context (Section 5): N2PL blocks and therefore may deadlock; NTO
 resolves conflicts by aborting, so it never deadlocks.  We sweep contention
 and report the deadlock counts of the blocking schedulers next to the
-timestamp-abort counts of NTO.
+timestamp-abort counts of NTO, via a declarative
+:class:`~repro.sweep.spec.SweepSpec`.
 """
 
 from __future__ import annotations
 
-from repro.simulation import HotspotWorkload
+from repro.sweep import Axis, ScenarioSpec, SweepSpec
 
-from .harness import print_experiment, run_configuration
+from .harness import print_experiment, run_sweep_rows
 
 HOT_PROBABILITIES = [0.2, 0.6, 0.9]
 SCHEDULERS = ["n2pl", "single-active", "nto"]
 COLUMNS = ["hot_probability", "scheduler", "deadlocks", "ts_aborts", "aborts", "makespan", "serialisable"]
 
+SWEEP = SweepSpec(
+    name="e8_deadlock_rates",
+    base=ScenarioSpec(
+        workload="hotspot",
+        scheduler="n2pl",
+        seed=707,
+        workload_params={
+            "transactions": 14,
+            "hot_objects": 2,
+            "cold_objects": 20,
+            "operations_per_transaction": 4,
+            "seed": 707,
+        },
+    ),
+    axes=(
+        Axis("hot_probability", HOT_PROBABILITIES, target="workload_params.hot_probability"),
+        Axis("scheduler", SCHEDULERS),
+    ),
+)
+
 
 def run_experiment() -> list[dict]:
-    rows = []
-    for hot_probability in HOT_PROBABILITIES:
-        for scheduler_name in SCHEDULERS:
-            workload = HotspotWorkload(
-                transactions=14, hot_objects=2, cold_objects=20,
-                operations_per_transaction=4, hot_probability=hot_probability, seed=707,
-            )
-            row = run_configuration(workload, scheduler_name, seed=707)
-            row["hot_probability"] = hot_probability
-            rows.append(row)
-    return rows
+    return run_sweep_rows(SWEEP)
 
 
 def test_e8_deadlock_rates(benchmark):

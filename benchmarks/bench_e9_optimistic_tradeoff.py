@@ -3,15 +3,16 @@
 Paper claim (Section 6): certifier-like mechanisms favour unconstrained
 intra-object execution at the price of "scheduling errors requiring
 abortions", whereas N2PL/NTO restrict execution up front.  We compare the
-optimistic certifier with N2PL across a contention sweep: the certifier
-never blocks but wastes work on validation aborts as contention grows.
+optimistic certifier with N2PL across a contention sweep (a declarative
+:class:`~repro.sweep.spec.SweepSpec`): the certifier never blocks but
+wastes work on validation aborts as contention grows.
 """
 
 from __future__ import annotations
 
-from repro.simulation import HotspotWorkload
+from repro.sweep import Axis, ScenarioSpec, SweepSpec
 
-from .harness import print_experiment, run_configuration
+from .harness import print_experiment, run_sweep_rows
 
 HOT_PROBABILITIES = [0.2, 0.6, 0.9]
 SCHEDULERS = ["certifier", "n2pl"]
@@ -21,19 +22,29 @@ COLUMNS = [
     "wasted_fraction", "serialisable",
 ]
 
+SWEEP = SweepSpec(
+    name="e9_optimistic_tradeoff",
+    base=ScenarioSpec(
+        workload="hotspot",
+        scheduler="certifier",
+        seed=808,
+        workload_params={
+            "transactions": 14,
+            "hot_objects": 2,
+            "cold_objects": 20,
+            "operations_per_transaction": 3,
+            "seed": 808,
+        },
+    ),
+    axes=(
+        Axis("hot_probability", HOT_PROBABILITIES, target="workload_params.hot_probability"),
+        Axis("scheduler", SCHEDULERS),
+    ),
+)
+
 
 def run_experiment() -> list[dict]:
-    rows = []
-    for hot_probability in HOT_PROBABILITIES:
-        for scheduler_name in SCHEDULERS:
-            workload = HotspotWorkload(
-                transactions=14, hot_objects=2, cold_objects=20,
-                operations_per_transaction=3, hot_probability=hot_probability, seed=808,
-            )
-            row = run_configuration(workload, scheduler_name, seed=808)
-            row["hot_probability"] = hot_probability
-            rows.append(row)
-    return rows
+    return run_sweep_rows(SWEEP)
 
 
 def test_e9_optimistic_tradeoff(benchmark):

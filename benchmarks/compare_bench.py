@@ -29,26 +29,34 @@ THRESHOLD = 1.30  # warn when a watched ratio degrades beyond 30%
 WATCHED = ("speedup_indexed", "speedup_incremental")
 
 
-def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str]]:
-    """Return ``(notices, warnings)``: file problems vs genuine regressions."""
+def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str], int]:
+    """Return ``(notices, warnings, compared)``.
+
+    ``notices`` are file problems, ``warnings`` genuine regressions, and
+    ``compared`` counts the configurations that actually had both a
+    baseline and a fresh sweep — so the caller can distinguish "all clear"
+    from "nothing was compared".
+    """
     if not path.exists():
-        return [f"no benchmark file at {path}; nothing to compare"], []
+        return [f"no benchmark file at {path}; nothing to compare"], [], 0
     try:
         rows = json.loads(path.read_text()).get("rows", [])
     except ValueError:
-        return [f"unreadable benchmark file at {path}"], []
+        return [f"unreadable benchmark file at {path}"], [], 0
     by_config: dict[tuple, list[dict]] = {}
     for row in rows:
         key = (row.get("scheduler"), row.get("transactions"))
         by_config.setdefault(key, []).append(row)
 
     warnings: list[str] = []
+    compared = 0
     for (scheduler, transactions), config_rows in sorted(
         by_config.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
     ):
         if len(config_rows) < 2:
             continue  # only the baseline sweep is recorded
         baseline, latest = config_rows[0], config_rows[-1]
+        config_compared = False
         for column in WATCHED:
             before = baseline.get(column)
             after = latest.get(column)
@@ -56,18 +64,20 @@ def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str]]:
                 continue
             if before <= 0:
                 continue
+            config_compared = True
             degradation = before / max(after, 1e-9)
             if degradation > THRESHOLD:
                 warnings.append(
                     f"{scheduler}/{transactions} {column}: {before:.2f}x -> {after:.2f}x "
                     f"({degradation:.2f}x drop, threshold {THRESHOLD:.2f}x)"
                 )
-    return [], warnings
+        compared += config_compared
+    return [], warnings, compared
 
 
 def main() -> int:
     path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_JSON
-    notices, warnings = compare(path)
+    notices, warnings, compared = compare(path)
     for message in notices:
         print(f"E12 comparison skipped: {message}")
     for message in warnings:
@@ -75,7 +85,16 @@ def main() -> int:
     if warnings:
         print(f"{len(warnings)} regression warning(s); see above.")
     elif not notices:
-        print("E12 speedups within 30% of the committed baseline.")
+        if compared:
+            print(
+                f"E12 speedups within 30% of the committed baseline "
+                f"({compared} configuration(s) compared)."
+            )
+        else:
+            print(
+                "E12 comparison skipped: no configuration had both a baseline "
+                "and a fresh sweep recorded (did the E12 bench step run?)."
+            )
     return 0  # warn-only: never fail the build
 
 

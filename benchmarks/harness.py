@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment benchmarks (E1-E11).
+"""Shared helpers for the experiment benchmarks (E1-E13).
 
 The paper has no numeric tables or figures, so every benchmark regenerates
 one of its comparative claims (see the experiment index in ``DESIGN.md``).
@@ -6,17 +6,35 @@ Each ``bench_eN_*`` module defines a ``run_experiment()`` function that
 returns the experiment's rows and a pytest-benchmark test that times one
 full sweep and prints the table (visible with
 ``pytest benchmarks/ --benchmark-only -s``).
+
+Since PR 3 the parameter grids themselves are declarative: the sweep
+experiments (E1, E3, E5, E8, E9, E13) define a
+:class:`~repro.sweep.spec.SweepSpec` and drive it through
+:func:`run_sweep_rows`; their row shapes are unchanged.
+:func:`run_configuration` remains for experiments that build bespoke
+workload instances in-process, and delegates its row assembly to the same
+:func:`repro.sweep.runner.summarise_run` the sweep runner uses, so every
+experiment reports identical columns.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any
 
-from repro.analysis import certify_run, format_table
+from repro.analysis import format_table
 from repro.scheduler import make_scheduler
 from repro.simulation import SimulationEngine
+from repro.sweep import SweepRunner, SweepSpec, summarise_run
 
-__all__ = ["run_configuration", "print_experiment", "format_table"]
+__all__ = [
+    "append_bench_rows",
+    "run_configuration",
+    "run_sweep_rows",
+    "print_experiment",
+    "format_table",
+]
 
 
 def run_configuration(
@@ -27,38 +45,42 @@ def run_configuration(
     certify: bool = True,
     scheduler_kwargs: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Run one workload under one scheduler and summarise the outcome."""
+    """Run one workload instance under one scheduler and summarise the outcome."""
     base, specs = workload.build()
     scheduler = make_scheduler(scheduler_name, **(scheduler_kwargs or {}))
     engine = SimulationEngine(base, scheduler, seed=seed)
     engine.submit_all(specs)
     result = engine.run()
-    metrics = result.metrics
-    row: dict[str, Any] = {
-        "scheduler": scheduler_name,
-        "committed": metrics.committed,
-        "aborts": metrics.aborted_attempts,
-        "deadlocks": metrics.aborts_by_reason.get("deadlock", 0),
-        "ts_aborts": metrics.aborts_by_reason.get("timestamp", 0),
-        "validation_aborts": metrics.aborts_by_reason.get("validation", 0),
-        "cascade_aborts": metrics.aborts_by_reason.get("cascade", 0),
-        "inter_object_aborts": metrics.aborts_by_reason.get("inter-object", 0),
-        "makespan": metrics.total_ticks,
-        "blocked_ticks": metrics.blocked_ticks,
-        "blocked_fraction": metrics.blocked_fraction,
-        "parks": metrics.parks,
-        "wakes": metrics.wakes,
-        "wait_ticks": metrics.wait_ticks,
-        "wasted_fraction": metrics.wasted_fraction,
-        "throughput": metrics.throughput,
-    }
-    if certify:
-        report = certify_run(result, check_legality=False)
-        row["serialisable"] = report.serialisable
-    return row
+    return summarise_run(result, scheduler_name, certify=certify)
+
+
+def run_sweep_rows(sweep: SweepSpec, *, workers: int = 0) -> list[dict[str, Any]]:
+    """Execute a declarative sweep and return its metrics rows in grid order."""
+    return SweepRunner(sweep, workers=workers).run_rows()
 
 
 def print_experiment(title: str, rows: list[dict[str, Any]], columns: list[str]) -> None:
     """Print one experiment's table (shown under ``pytest -s``)."""
     print()
     print(format_table(rows, columns, title=title))
+
+
+def append_bench_rows(path: Path, experiment: str, rows: list[dict[str, Any]]) -> None:
+    """Append rows to a ``BENCH_*.json`` trajectory file.
+
+    The file holds ``{"experiment": <name>, "rows": [...]}``; the first
+    recorded rows are the committed baseline and later sweeps append, so
+    the repository's performance trajectory accumulates run over run.  An
+    unreadable file is treated as empty rather than discarding the new
+    measurement.
+    """
+    recorded: list[dict[str, Any]] = []
+    if path.exists():
+        try:
+            recorded = json.loads(path.read_text()).get("rows", [])
+        except (ValueError, AttributeError):
+            recorded = []
+    recorded.extend(rows)
+    path.write_text(
+        json.dumps({"experiment": experiment, "rows": recorded}, indent=2) + "\n"
+    )

@@ -9,7 +9,11 @@ the paper's comparative claims can be measured.
 
 The most commonly used names are re-exported here; the sub-packages
 (:mod:`repro.core`, :mod:`repro.objectbase`, :mod:`repro.scheduler`,
-:mod:`repro.simulation`, :mod:`repro.analysis`) expose the full API.
+:mod:`repro.simulation`, :mod:`repro.analysis`, :mod:`repro.sweep`)
+expose the full API.  :mod:`repro.sweep` is the declarative
+scenario-sweep layer: grids of workload × scheduler × seed scenarios
+executed serially or fanned out over ``multiprocessing`` workers with
+deterministic results.
 """
 
 from .core import (

@@ -1,7 +1,13 @@
 """Analysis layer: run certification, history statistics and text reports."""
 
 from .certify import CertificationReport, certify_history, certify_run
-from .report import format_comparison, format_table, relative_change, summarise_sweep
+from .report import (
+    format_comparison,
+    format_markdown_table,
+    format_table,
+    relative_change,
+    summarise_sweep,
+)
 from .stats import HistoryStatistics, history_statistics
 
 __all__ = [
@@ -10,6 +16,7 @@ __all__ = [
     "certify_history",
     "certify_run",
     "format_comparison",
+    "format_markdown_table",
     "format_table",
     "history_statistics",
     "relative_change",

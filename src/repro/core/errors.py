@@ -91,5 +91,15 @@ class WorkloadError(SimulationError):
     """A workload generator was configured with inconsistent parameters."""
 
 
+class SweepSpecError(SimulationError):
+    """A scenario/sweep specification (:mod:`repro.sweep`) is invalid.
+
+    Raised at specification construction time — unknown workload or
+    scheduler names, parameters that do not exist on the referenced
+    workload, non-JSON-serialisable values, or malformed grid axes — so
+    that misconfigured sweeps fail before any worker process is spawned.
+    """
+
+
 class VerificationError(ReproError):
     """Post-hoc certification of a run found a correctness violation."""

@@ -39,33 +39,48 @@ from .recovery import CommitGate
 from .single_active import SingleActiveObjectScheduler
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
+# Every factory declares its accepted keywords explicitly: a misspelt or
+# unsupported keyword raises TypeError here instead of being silently
+# ignored, and the sweep layer (repro.sweep) validates spec kwargs against
+# these signatures eagerly — before any worker process is spawned.
 SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
-    "pass-through": Scheduler,
-    "n2pl": lambda **kwargs: NestedTwoPhaseLocking(level=kwargs.get("level", OPERATION_LEVEL)),
-    "n2pl-step": lambda **kwargs: NestedTwoPhaseLocking(level=STEP_LEVEL),
-    "nto": lambda **kwargs: NestedTimestampOrdering(level=kwargs.get("level", OPERATION_LEVEL)),
-    "nto-step": lambda **kwargs: NestedTimestampOrdering(level=STEP_LEVEL),
-    "single-active": lambda **kwargs: SingleActiveObjectScheduler(),
-    "certifier": lambda **kwargs: OptimisticCertifier(
-        level=kwargs.get("level", STEP_LEVEL), check=kwargs.get("check", False)
+    "pass-through": lambda: Scheduler(),
+    "n2pl": lambda level=OPERATION_LEVEL: NestedTwoPhaseLocking(level=level),
+    "n2pl-step": lambda: NestedTwoPhaseLocking(level=STEP_LEVEL),
+    "nto": lambda level=OPERATION_LEVEL: NestedTimestampOrdering(level=level),
+    "nto-step": lambda: NestedTimestampOrdering(level=STEP_LEVEL),
+    "single-active": lambda: SingleActiveObjectScheduler(),
+    "certifier": lambda level=STEP_LEVEL, check=False: OptimisticCertifier(
+        level=level, check=check
     ),
-    "modular": lambda **kwargs: ModularScheduler(
-        default_strategy=kwargs.get("default_strategy", "locking"),
-        per_object_strategy=kwargs.get("per_object_strategy"),
-        inter_object_checks=kwargs.get("inter_object_checks", True),
-        level=kwargs.get("level", STEP_LEVEL),
+    "modular": lambda default_strategy="locking", per_object_strategy=None,
+    inter_object_checks=True, level=STEP_LEVEL: ModularScheduler(
+        default_strategy=default_strategy,
+        per_object_strategy=per_object_strategy,
+        inter_object_checks=inter_object_checks,
+        level=level,
     ),
-    "modular-intra-only": lambda **kwargs: ModularScheduler(
-        default_strategy=kwargs.get("default_strategy", "locking"),
-        per_object_strategy=kwargs.get("per_object_strategy"),
+    "modular-intra-only": lambda default_strategy="locking", per_object_strategy=None,
+    level=STEP_LEVEL: ModularScheduler(
+        default_strategy=default_strategy,
+        per_object_strategy=per_object_strategy,
         inter_object_checks=False,
-        level=kwargs.get("level", STEP_LEVEL),
+        level=level,
     ),
 }
 
 
 def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
-    """Instantiate a scheduler by its registry name (see ``scheduler_names``)."""
+    """Instantiate a scheduler by its registry name (see ``scheduler_names``).
+
+    Args:
+        name: a :data:`SCHEDULER_FACTORIES` key.
+        **kwargs: factory keywords for the chosen scheduler.
+
+    Raises:
+        KeyError: on an unknown name.
+        TypeError: on keywords the chosen factory does not accept.
+    """
     try:
         factory = SCHEDULER_FACTORIES[name]
     except KeyError as exc:

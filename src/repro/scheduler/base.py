@@ -125,14 +125,29 @@ class SchedulerResponse:
 
     @classmethod
     def grant(cls) -> "SchedulerResponse":
+        """The operation (or commit) may proceed now."""
         return cls(Decision.GRANT)
 
     @classmethod
     def block(cls, reason: str = "", blockers: frozenset[str] | set[str] = frozenset()) -> "SchedulerResponse":
+        """The request must wait.
+
+        Args:
+            reason: human-readable explanation recorded in the trace.
+            blockers: identifiers of the owners standing in the way, in
+                the same namespace this scheduler reports wake-ups in; the
+                engine parks the issuing frame on them.  An empty set
+                makes the frame fall back to retrying (and feeds the
+                starvation valve).
+
+        Returns:
+            The BLOCK response.
+        """
         return cls(Decision.BLOCK, reason, frozenset(blockers))
 
     @classmethod
     def abort(cls, reason: str = "") -> "SchedulerResponse":
+        """The issuing top-level transaction must abort (``reason`` is recorded)."""
         return cls(Decision.ABORT, reason)
 
     @property
@@ -183,6 +198,7 @@ class Scheduler:
         self._pending_wakeups = set()
 
     def conflicts_for(self, level: str) -> PerObjectConflicts:
+        """The per-object conflict registry at ``"operation"`` or ``"step"`` level."""
         return self.operation_conflicts if level == OPERATION_LEVEL else self.step_conflicts
 
     # -- wake-up notification ----------------------------------------------------
@@ -213,7 +229,16 @@ class Scheduler:
         """A message step created the child method execution."""
 
     def on_operation(self, request: OperationRequest) -> SchedulerResponse:
-        """Arbitrate a local operation request."""
+        """Arbitrate a local operation request.
+
+        Args:
+            request: the issuing execution's identity plus the operation
+                and its provisional step (return value on current state).
+
+        Returns:
+            GRANT to execute now, BLOCK (with blockers) to park the
+            frame, or ABORT to abort the issuing top-level transaction.
+        """
         return SchedulerResponse.grant()
 
     def on_operation_executed(self, request: OperationRequest, value: Any) -> None:

@@ -17,6 +17,9 @@ from .workloads import (
     MixedWorkload,
     QueueWorkload,
     RandomOperationsWorkload,
+    WORKLOAD_REGISTRY,
+    make_workload,
+    workload_names,
 )
 
 __all__ = [
@@ -38,4 +41,7 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "TransactionSpec",
+    "WORKLOAD_REGISTRY",
+    "make_workload",
+    "workload_names",
 ]

@@ -124,7 +124,43 @@ class _StepLogEntry:
 
 
 class SimulationEngine:
-    """Interleaves transaction programmes under a concurrency-control scheduler."""
+    """Interleaves transaction programmes under a concurrency-control scheduler.
+
+    Engines are single-use: construct, :meth:`submit` (or
+    :meth:`submit_all`) the transactions, then :meth:`run` exactly once.
+    All randomness — the interleaving choice each tick — comes from the
+    seeded RNG, so a run is a pure function of ``(object_base, scheduler,
+    submissions, seed, options)``; the scenario-sweep layer
+    (:mod:`repro.sweep`) relies on this for its serial/parallel
+    determinism guarantee.
+
+    Args:
+        object_base: the objects, their conflict specifications, and the
+            environment's transaction methods.
+        scheduler: the concurrency-control algorithm to consult (attached
+            to ``object_base`` during construction).
+        seed: RNG seed for the per-tick runnable-frame choice.
+        scheduling: ``"random"`` (seeded uniform choice) or
+            ``"round-robin"``.
+        max_restarts: restart budget per transaction before it gives up.
+        starvation_limit: consecutive blocked attempts of one frame before
+            its transaction is aborted for starvation.
+        max_ticks: hard cap on scheduling decisions (truncates runaway
+            runs; parked waiters are accounted before the result is
+            built).
+        record_trace: record a :class:`~repro.simulation.events.Trace` of
+            every event (costs memory; off by default).
+        conflict_level_for_history: granularity of the conflict relation
+            stored on the recorded history (``"step"`` or
+            ``"operation"``).
+        undo: abort repair strategy — ``"incremental"`` (per-transaction
+            undo segments) or ``"replay"`` (legacy full-history replay).
+        check_undo: run both strategies after every abort and raise on
+            divergence (testing aid).
+
+    Raises:
+        SimulationError: on an unknown ``scheduling`` or ``undo`` value.
+    """
 
     def __init__(
         self,
@@ -191,6 +227,15 @@ class SimulationEngine:
 
         Accepts either a :class:`TransactionSpec` or a method name plus
         arguments for convenience.
+
+        Args:
+            spec: the transaction to run, or the name of a transaction
+                method registered on the environment.
+            *arguments: positional arguments when ``spec`` is a name.
+
+        Raises:
+            SimulationError: when arguments accompany a full spec, or the
+                named method does not exist on the environment.
         """
         if isinstance(spec, str):
             spec = TransactionSpec(spec, tuple(arguments))
@@ -201,6 +246,7 @@ class SimulationEngine:
         self.metrics.submitted += 1
 
     def submit_all(self, specs) -> None:
+        """Queue every :class:`TransactionSpec` in ``specs``, in order."""
         for spec in specs:
             self.submit(spec)
 
@@ -209,7 +255,17 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        """Execute every submitted transaction to commit (or give-up)."""
+        """Execute every submitted transaction to commit (or give-up).
+
+        Returns:
+            The :class:`~repro.simulation.metrics.RunResult` with the full
+            recorded history (aborted attempts included), the metrics, the
+            committed transaction order and, when requested, the trace.
+
+        Raises:
+            SimulationError: when called twice (engines are single-use) or
+                when a transaction programme itself raises.
+        """
         if self._finished:
             raise SimulationError("engine instances are single-use; create a new one")
         for spec in self._pending_specs:

@@ -1,9 +1,11 @@
 """Trace events emitted by the simulation engine.
 
 The trace is an append-only list of :class:`TraceEvent` records that the
-analysis layer and the tests can inspect to understand what the scheduler
-decided at every tick.  Traces can grow large; the engine only records them
-when asked to (``record_trace=True``).
+analysis layer and the tests can inspect to understand what the engine and
+scheduler decided as the run progressed: grants, parks (``blocked``),
+wake-ups (``woken``), commits, aborts and restarts, stamped with the tick
+at which they happened.  Traces can grow large; the engine only records
+them when asked to (``record_trace=True``).
 """
 
 from __future__ import annotations

@@ -4,9 +4,10 @@ Every simulation run produces a :class:`RunResult`: the recorded history,
 the set of executions that belong to aborted transaction attempts, and a
 :class:`RunMetrics` summary with the quantities the experiments report —
 committed/aborted transaction counts, abort reasons, blocking, wasted work
-and the makespan in scheduler ticks (each tick is one scheduling attempt,
-so blocking and restarts lengthen the run exactly as lost concurrency
-would on a real system).
+and the makespan in scheduler ticks.  A tick is one *productive*
+scheduling decision for a runnable frame: parked frames consume no ticks,
+so restarts lengthen the makespan (aborted work is redone) while blocking
+shows up in the waiting counters below, not as a longer tick count.
 
 The engine is event-driven: a frame whose operation is BLOCKed is *parked*
 (removed from the runnable set) until a wake-up fires, so ``blocked_ticks``

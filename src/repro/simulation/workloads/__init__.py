@@ -1,4 +1,18 @@
-"""Workload generators: object bases plus transaction mixes for the engine."""
+"""Workload generators: object bases plus transaction mixes for the engine.
+
+Each workload is a plain dataclass whose fields are the knobs an
+experiment sweeps (population sizes, contention probabilities, seeds) and
+whose :meth:`build` method returns an :class:`~repro.objectbase.base.ObjectBase`
+together with the :class:`~repro.simulation.transactions.TransactionSpec`
+list to submit.  :data:`WORKLOAD_REGISTRY` maps short names to the
+classes so that declarative scenario specifications (:mod:`repro.sweep`)
+can reference workloads by name and construct them inside worker
+processes from JSON-serialisable parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
 
 from .banking import BankingWorkload
 from .btree_load import BTreeWorkload
@@ -7,6 +21,44 @@ from .mixed import MixedWorkload
 from .queues import QueueWorkload
 from .random_ops import RandomOperationsWorkload
 
+#: Short names accepted by :func:`make_workload` and ``repro.sweep`` specs.
+WORKLOAD_REGISTRY: dict[str, type] = {
+    "banking": BankingWorkload,
+    "btree": BTreeWorkload,
+    "hotspot": HotspotWorkload,
+    "mixed": MixedWorkload,
+    "queue": QueueWorkload,
+    "random-ops": RandomOperationsWorkload,
+}
+
+
+def make_workload(name: str, **params: Any):
+    """Instantiate a workload by its registry name.
+
+    Args:
+        name: a key of :data:`WORKLOAD_REGISTRY` (e.g. ``"hotspot"``).
+        **params: constructor arguments of the workload dataclass.
+
+    Returns:
+        The workload instance (not yet built — call :meth:`build` on it).
+
+    Raises:
+        KeyError: when ``name`` is not registered.
+    """
+    try:
+        workload_class = WORKLOAD_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOAD_REGISTRY))}"
+        ) from exc
+    return workload_class(**params)
+
+
+def workload_names() -> list[str]:
+    """Names accepted by :func:`make_workload`."""
+    return sorted(WORKLOAD_REGISTRY)
+
+
 __all__ = [
     "BankingWorkload",
     "BTreeWorkload",
@@ -14,4 +66,7 @@ __all__ = [
     "MixedWorkload",
     "QueueWorkload",
     "RandomOperationsWorkload",
+    "WORKLOAD_REGISTRY",
+    "make_workload",
+    "workload_names",
 ]
