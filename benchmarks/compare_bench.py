@@ -1,63 +1,92 @@
-"""Diff the latest E12 sweep against the committed baseline.
+"""Diff the latest recorded benchmark sweeps against their committed baselines.
 
-The E12 benchmark appends one row per configuration to
-``BENCH_e12_certification_scaling.json`` on every sweep, so the first
-recorded row per ``(scheduler, transactions)`` configuration is the
-committed baseline and the last is the sweep that just ran.  This script
-compares the two and *warns* (GitHub Actions ``::warning::`` annotations;
-exit code stays 0) when a configuration's indexed/incremental speedup over
-the legacy builders dropped by more than ``THRESHOLD`` — a
-machine-independent proxy for "the fast path got slower".  Run it as
+The watched benchmarks append one row per configuration to their
+``BENCH_*.json`` trajectory on every sweep, so the first recorded row per
+configuration is the committed baseline and the last is the sweep that
+just ran.  This script compares the two and *warns* (GitHub Actions
+``::warning::`` annotations; exit code stays 0) when a watched ratio
+dropped by more than ``THRESHOLD`` — the watched columns are
+machine-independent by construction, so a drop means behaviour (or the
+fast path) regressed, wherever the sweep ran.  Run it as
 ``python -m benchmarks.compare_bench``.
+
+Watched files:
+
+* ``BENCH_e12_certification_scaling.json`` — the indexed/incremental
+  certification speedups over the legacy builders, measured within one
+  sweep on one machine (a wall-time *ratio*, hence machine-independent).
+* ``BENCH_e14_restart_policies.json`` — each restart/contention policy's
+  ``recovery_ratio`` (its commit rate over the storm baseline's), a pure
+  function of the deterministic scenario spec.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
-DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_e12_certification_scaling.json"
+BENCH_DIR = Path(__file__).resolve().parent
 THRESHOLD = 1.30  # warn when a watched ratio degrades beyond 30%
 
-# Absolute wall times are machine-dependent (the committed baseline was
-# recorded on a different box than the CI runner), so the comparison
-# watches the *ratios* recorded within each sweep: the indexed and
-# incremental speedups over the legacy builders measured on the same
-# machine in the same process.  A >30% drop means the indexed path
-# regressed relative to the legacy yardstick, wherever the sweep ran.
-WATCHED = ("speedup_indexed", "speedup_incremental")
+
+@dataclass(frozen=True)
+class Watch:
+    """One benchmark trajectory file and the ratio columns to guard."""
+
+    name: str
+    path: Path
+    key_fields: tuple[str, ...]
+    columns: tuple[str, ...]
 
 
-def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str], int]:
-    """Return ``(notices, warnings, compared)``.
+WATCHES = (
+    Watch(
+        name="E12",
+        path=BENCH_DIR / "BENCH_e12_certification_scaling.json",
+        key_fields=("scheduler", "transactions"),
+        columns=("speedup_indexed", "speedup_incremental"),
+    ),
+    Watch(
+        name="E14",
+        path=BENCH_DIR / "BENCH_e14_restart_policies.json",
+        key_fields=("policy",),
+        columns=("recovery_ratio",),
+    ),
+)
+
+
+def compare(watch: Watch) -> tuple[list[str], list[str], int]:
+    """Return ``(notices, warnings, compared)`` for one watched file.
 
     ``notices`` are file problems, ``warnings`` genuine regressions, and
     ``compared`` counts the configurations that actually had both a
     baseline and a fresh sweep — so the caller can distinguish "all clear"
     from "nothing was compared".
     """
-    if not path.exists():
-        return [f"no benchmark file at {path}; nothing to compare"], [], 0
+    if not watch.path.exists():
+        return [f"no benchmark file at {watch.path}; nothing to compare"], [], 0
     try:
-        rows = json.loads(path.read_text()).get("rows", [])
+        rows = json.loads(watch.path.read_text()).get("rows", [])
     except ValueError:
-        return [f"unreadable benchmark file at {path}"], [], 0
+        return [f"unreadable benchmark file at {watch.path}"], [], 0
     by_config: dict[tuple, list[dict]] = {}
     for row in rows:
-        key = (row.get("scheduler"), row.get("transactions"))
+        key = tuple(row.get(field) for field in watch.key_fields)
         by_config.setdefault(key, []).append(row)
 
     warnings: list[str] = []
     compared = 0
-    for (scheduler, transactions), config_rows in sorted(
-        by_config.items(), key=lambda item: (str(item[0][0]), str(item[0][1]))
+    for key, config_rows in sorted(
+        by_config.items(), key=lambda item: tuple(str(part) for part in item[0])
     ):
         if len(config_rows) < 2:
             continue  # only the baseline sweep is recorded
         baseline, latest = config_rows[0], config_rows[-1]
+        label = "/".join(str(part) for part in key)
         config_compared = False
-        for column in WATCHED:
+        for column in watch.columns:
             before = baseline.get(column)
             after = latest.get(column)
             if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
@@ -68,33 +97,50 @@ def compare(path: Path = DEFAULT_JSON) -> tuple[list[str], list[str], int]:
             degradation = before / max(after, 1e-9)
             if degradation > THRESHOLD:
                 warnings.append(
-                    f"{scheduler}/{transactions} {column}: {before:.2f}x -> {after:.2f}x "
+                    f"{label} {column}: {before:.2f}x -> {after:.2f}x "
                     f"({degradation:.2f}x drop, threshold {THRESHOLD:.2f}x)"
                 )
         compared += config_compared
     return [], warnings, compared
 
 
-def main() -> int:
-    path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_JSON
-    notices, warnings, compared = compare(path)
+def report(watch: Watch) -> int:
+    """Print one watch's verdicts; returns the number of warnings."""
+    notices, warnings, compared = compare(watch)
     for message in notices:
-        print(f"E12 comparison skipped: {message}")
+        print(f"{watch.name} comparison skipped: {message}")
     for message in warnings:
-        print(f"::warning::E12 speedup regression: {message}")
+        print(f"::warning::{watch.name} ratio regression: {message}")
     if warnings:
-        print(f"{len(warnings)} regression warning(s); see above.")
+        print(f"{watch.name}: {len(warnings)} regression warning(s); see above.")
     elif not notices:
         if compared:
             print(
-                f"E12 speedups within 30% of the committed baseline "
+                f"{watch.name} ratios within 30% of the committed baseline "
                 f"({compared} configuration(s) compared)."
             )
         else:
             print(
-                "E12 comparison skipped: no configuration had both a baseline "
-                "and a fresh sweep recorded (did the E12 bench step run?)."
+                f"{watch.name} comparison skipped: no configuration had both a "
+                f"baseline and a fresh sweep recorded (did the {watch.name} "
+                "bench step run?)."
             )
+    return len(warnings)
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        # Explicit path: compare it with the watch whose file name matches,
+        # defaulting to the E12 shape for unknown files (backward compat).
+        path = Path(sys.argv[1])
+        matching = next((w for w in WATCHES if w.path.name == path.name), WATCHES[0])
+        watches = (
+            Watch(matching.name, path, matching.key_fields, matching.columns),
+        )
+    else:
+        watches = WATCHES
+    for watch in watches:
+        report(watch)
     return 0  # warn-only: never fail the build
 
 

@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment benchmarks (E1-E13).
+"""Shared helpers for the experiment benchmarks (E1-E14).
 
 The paper has no numeric tables or figures, so every benchmark regenerates
 one of its comparative claims (see the experiment index in ``DESIGN.md``).
@@ -8,7 +8,7 @@ full sweep and prints the table (visible with
 ``pytest benchmarks/ --benchmark-only -s``).
 
 Since PR 3 the parameter grids themselves are declarative: the sweep
-experiments (E1, E3, E5, E8, E9, E13) define a
+experiments (E1, E3, E5, E8, E9, E13, E14) define a
 :class:`~repro.sweep.spec.SweepSpec` and drive it through
 :func:`run_sweep_rows`; their row shapes are unchanged.
 :func:`run_configuration` remains for experiments that build bespoke

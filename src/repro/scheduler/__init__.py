@@ -35,7 +35,17 @@ from .modular import (
 )
 from .n2pl import NestedTwoPhaseLocking, StepLevelNestedTwoPhaseLocking
 from .nto import NestedTimestampOrdering, StepLevelNestedTimestampOrdering
-from .recovery import CommitGate
+from .recovery import ACA_MODE, CASCADE_MODE, CommitGate, GATE_MODES
+from .restart import (
+    IMMEDIATE_RESTART,
+    ImmediateRestart,
+    OrderedRestart,
+    RESTART_POLICIES,
+    RandomizedBackoff,
+    RestartPolicy,
+    make_restart_policy,
+    restart_policy_names,
+)
 from .single_active import SingleActiveObjectScheduler
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
@@ -43,29 +53,55 @@ from .timestamps import HierarchicalTimestamp, TimestampAuthority
 # unsupported keyword raises TypeError here instead of being silently
 # ignored, and the sweep layer (repro.sweep) validates spec kwargs against
 # these signatures eagerly — before any worker process is spawned.
+#
+# Two cross-cutting axes appear on (nearly) every factory since PR 4:
+# ``restart_policy`` (immediate / backoff / ordered — how aborted
+# transactions are resubmitted, see repro.scheduler.restart) on all of
+# them, and ``gate_mode`` (cascade / aca — how the CommitGate resolves
+# dirty reads) on the non-strict schedulers that run a CommitGate.
 SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
-    "pass-through": lambda: Scheduler(),
-    "n2pl": lambda level=OPERATION_LEVEL: NestedTwoPhaseLocking(level=level),
-    "n2pl-step": lambda: NestedTwoPhaseLocking(level=STEP_LEVEL),
-    "nto": lambda level=OPERATION_LEVEL: NestedTimestampOrdering(level=level),
-    "nto-step": lambda: NestedTimestampOrdering(level=STEP_LEVEL),
-    "single-active": lambda: SingleActiveObjectScheduler(),
-    "certifier": lambda level=STEP_LEVEL, check=False: OptimisticCertifier(
-        level=level, check=check
+    "pass-through": lambda restart_policy=IMMEDIATE_RESTART: Scheduler(
+        restart_policy=restart_policy
+    ),
+    "n2pl": lambda level=OPERATION_LEVEL, restart_policy=IMMEDIATE_RESTART: (
+        NestedTwoPhaseLocking(level=level, restart_policy=restart_policy)
+    ),
+    "n2pl-step": lambda restart_policy=IMMEDIATE_RESTART: NestedTwoPhaseLocking(
+        level=STEP_LEVEL, restart_policy=restart_policy
+    ),
+    "nto": lambda level=OPERATION_LEVEL, restart_policy=IMMEDIATE_RESTART,
+    gate_mode=CASCADE_MODE: NestedTimestampOrdering(
+        level=level, restart_policy=restart_policy, gate_mode=gate_mode
+    ),
+    "nto-step": lambda restart_policy=IMMEDIATE_RESTART, gate_mode=CASCADE_MODE: (
+        NestedTimestampOrdering(
+            level=STEP_LEVEL, restart_policy=restart_policy, gate_mode=gate_mode
+        )
+    ),
+    "single-active": lambda restart_policy=IMMEDIATE_RESTART: SingleActiveObjectScheduler(
+        restart_policy=restart_policy
+    ),
+    "certifier": lambda level=STEP_LEVEL, check=False, restart_policy=IMMEDIATE_RESTART,
+    gate_mode=CASCADE_MODE: OptimisticCertifier(
+        level=level, check=check, restart_policy=restart_policy, gate_mode=gate_mode
     ),
     "modular": lambda default_strategy="locking", per_object_strategy=None,
-    inter_object_checks=True, level=STEP_LEVEL: ModularScheduler(
+    inter_object_checks=True, level=STEP_LEVEL, restart_policy=IMMEDIATE_RESTART,
+    gate_mode=CASCADE_MODE: ModularScheduler(
         default_strategy=default_strategy,
         per_object_strategy=per_object_strategy,
         inter_object_checks=inter_object_checks,
         level=level,
+        restart_policy=restart_policy,
+        gate_mode=gate_mode,
     ),
     "modular-intra-only": lambda default_strategy="locking", per_object_strategy=None,
-    level=STEP_LEVEL: ModularScheduler(
+    level=STEP_LEVEL, restart_policy=IMMEDIATE_RESTART: ModularScheduler(
         default_strategy=default_strategy,
         per_object_strategy=per_object_strategy,
         inter_object_checks=False,
         level=level,
+        restart_policy=restart_policy,
     ),
 }
 
@@ -96,9 +132,18 @@ def scheduler_names() -> list[str]:
 
 
 __all__ = [
+    "ACA_MODE",
     "BTreeKeyLocking",
+    "CASCADE_MODE",
     "CommitGate",
     "Decision",
+    "GATE_MODES",
+    "IMMEDIATE_RESTART",
+    "ImmediateRestart",
+    "OrderedRestart",
+    "RESTART_POLICIES",
+    "RandomizedBackoff",
+    "RestartPolicy",
     "ExecutionInfo",
     "HierarchicalTimestamp",
     "InterObjectCoordinator",
@@ -124,6 +169,8 @@ __all__ = [
     "TimestampAuthority",
     "WaitsForGraph",
     "disjoint_ancestors",
+    "make_restart_policy",
     "make_scheduler",
+    "restart_policy_names",
     "scheduler_names",
 ]

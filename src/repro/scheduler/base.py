@@ -44,11 +44,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from ..core.conflicts import PerObjectConflicts
 from ..core.operations import LocalOperation, LocalStep
 from ..objectbase.base import ObjectBase
+from .restart import IMMEDIATE_RESTART, RestartPolicy, make_restart_policy
 
 OPERATION_LEVEL = "operation"
 STEP_LEVEL = "step"
@@ -178,15 +179,31 @@ class Scheduler:
 
     ``attach`` is called once before the run starts and provides the object
     base plus the per-object conflict registries at both granularities.
+
+    Every scheduler also carries a *restart policy*
+    (:mod:`repro.scheduler.restart`): when the engine aborts a transaction
+    it asks ``scheduler.restart_policy`` how many ticks to wait before
+    resubmitting it (``"immediate"`` — the default — restarts at once;
+    ``"backoff"`` and ``"ordered"`` delay restarts to break cascade
+    storms).  The policy is configuration the scheduler transports; the
+    engine drives it.
+
+    Args:
+        restart_policy: a policy name, a ``{"name": ..., **kwargs}``
+            mapping, or a :class:`~repro.scheduler.restart.RestartPolicy`
+            instance (see :func:`~repro.scheduler.restart.make_restart_policy`).
     """
 
     name = "pass-through"
 
-    def __init__(self) -> None:
+    def __init__(
+        self, restart_policy: "str | Mapping[str, Any] | RestartPolicy" = IMMEDIATE_RESTART
+    ) -> None:
         self.object_base: ObjectBase | None = None
         self.operation_conflicts: PerObjectConflicts = PerObjectConflicts()
         self.step_conflicts: PerObjectConflicts = PerObjectConflicts()
         self._pending_wakeups: set[str] = set()
+        self.restart_policy: RestartPolicy = make_restart_policy(restart_policy)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -261,7 +278,7 @@ class Scheduler:
 
     def describe(self) -> dict[str, Any]:
         """Scheduler description recorded alongside run metrics."""
-        return {"name": self.name}
+        return {"name": self.name, "restart_policy": self.restart_policy.name}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

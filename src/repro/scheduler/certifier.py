@@ -40,10 +40,19 @@ post-hoc certification in :mod:`repro.analysis` verifies.
 Serialisable is not yet legal: executing against uncommitted state allows
 dirty reads, and a reader that commits before its writer aborts would
 record return values no replay of the committed projection can reproduce.
-A :class:`~repro.scheduler.recovery.CommitGate` therefore defers commits
-(the engine parks the transaction at its commit point — still never
-blocking an *operation*) until every transaction whose effects the
-candidate observed has resolved, cascade-aborting when one aborted.
+A :class:`~repro.scheduler.recovery.CommitGate` closes that hole; how is
+the ``gate_mode`` axis.  The default ``"cascade"`` defers commits (the
+engine parks the transaction at its commit point — still never blocking
+an *operation*) until every transaction whose effects the candidate
+observed has resolved, cascade-aborting when one aborted; ``"aca"``
+trades the no-operation-blocking property away and blocks a conflicting
+read of uncommitted effects at execution time, so commits never cascade.
+How aborted transactions are resubmitted is the scheduler's
+``restart_policy`` axis (:mod:`repro.scheduler.restart`) — under the
+default immediate policy, contended hotspot workloads degenerate into
+cascade storms (aborted readers restart straight back into the unchanged
+hot set); ``"backoff"``/``"ordered"`` break the storm, which E14
+measures.
 """
 
 from __future__ import annotations
@@ -69,7 +78,7 @@ from .base import (
     SchedulerResponse,
     disjoint_ancestors,
 )
-from .recovery import CommitGate
+from .recovery import CASCADE_MODE, CommitGate
 
 
 @dataclass
@@ -110,12 +119,19 @@ class OptimisticCertifier(Scheduler):
 
     name = "certifier"
 
-    def __init__(self, level: str = STEP_LEVEL, check: bool = False):
-        super().__init__()
+    def __init__(
+        self,
+        level: str = STEP_LEVEL,
+        check: bool = False,
+        restart_policy: Any = "immediate",
+        gate_mode: str = CASCADE_MODE,
+    ):
+        super().__init__(restart_policy=restart_policy)
         if level not in (OPERATION_LEVEL, STEP_LEVEL):
             raise ValueError(f"unknown conflict level {level!r}")
         self.level = level
         self.check = check
+        self.gate_mode = gate_mode
         self._sequence = itertools.count(1)
         self._steps_by_object: dict[str, list[_ExecutedStep]] = defaultdict(list)
         self._committed: set[str] = set()
@@ -130,7 +146,11 @@ class OptimisticCertifier(Scheduler):
 
     def _make_gate(self) -> CommitGate:
         registry = self.conflicts_for(self.level)
-        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
+        return CommitGate(
+            lambda name: registry[name],
+            step_level=self.level == STEP_LEVEL,
+            mode=self.gate_mode,
+        )
 
     def attach(self, object_base: ObjectBase) -> None:
         super().attach(object_base)
@@ -152,7 +172,10 @@ class OptimisticCertifier(Scheduler):
     # -- execution phase ----------------------------------------------------------
 
     def on_operation(self, request: OperationRequest) -> SchedulerResponse:
-        return SchedulerResponse.grant()
+        # Unconditional GRANT in cascade mode; in aca mode the gate blocks
+        # steps that would observe uncommitted effects.
+        item = request.lock_item(self.level)
+        return self.gate.check_operation(request.object_name, item, request.info)
 
     def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
         step = LocalStep(
@@ -391,6 +414,7 @@ class OptimisticCertifier(Scheduler):
         return {
             "name": self.name,
             "level": self.level,
+            "restart_policy": self.restart_policy.name,
             "validation_aborts": self.validation_aborts,
             "committed": len(self._committed),
             "classified_pairs": self.classified_pairs,

@@ -49,7 +49,7 @@ from .base import (
     disjoint_ancestors,
 )
 from .deadlock import WaitsForGraph
-from .recovery import CommitGate
+from .recovery import CASCADE_MODE, CommitGate
 from .timestamps import TimestampAuthority
 
 
@@ -296,11 +296,14 @@ class ModularScheduler(Scheduler):
         per_object_strategy: dict[str, str] | None = None,
         inter_object_checks: bool = True,
         level: str = STEP_LEVEL,
+        restart_policy: Any = "immediate",
+        gate_mode: str = CASCADE_MODE,
     ):
-        super().__init__()
+        super().__init__(restart_policy=restart_policy)
         if level not in (OPERATION_LEVEL, STEP_LEVEL):
             raise ValueError(f"unknown conflict level {level!r}")
         self.level = level
+        self.gate_mode = gate_mode
         self.default_strategy = default_strategy
         self.per_object_strategy = dict(per_object_strategy or {})
         self.inter_object_checks = inter_object_checks
@@ -320,7 +323,11 @@ class ModularScheduler(Scheduler):
         # configuration — the paper's deliberately insufficient baseline —
         # runs without it.
         registry = self.conflicts_for(self.level)
-        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
+        return CommitGate(
+            lambda name: registry[name],
+            step_level=self.level == STEP_LEVEL,
+            mode=self.gate_mode,
+        )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -361,31 +368,47 @@ class ModularScheduler(Scheduler):
         if self.inter_object_checks:
             self.gate.begin(info.top_level_id)
 
-    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+    def _park_with_deadlock_check(
+        self, request: OperationRequest, response: SchedulerResponse
+    ) -> SchedulerResponse:
+        """Track a BLOCK in the waits-for graph; abort instead on a cycle.
+
+        Used for both intra-object lock waits and aca dirty-read waits, so
+        cycles mixing the two kinds of wait are detected in one graph.
+        """
         transaction_id = request.info.top_level_id
+        self.blocked_requests += 1
+        self.waits.park(request.info.execution_id, transaction_id, set(response.blockers))
+        cycle = self.waits.find_cycle_from(transaction_id)
+        if cycle is not None:
+            self.deadlocks_detected += 1
+            self.waits.remove_transaction(transaction_id)
+            return SchedulerResponse.abort(
+                f"deadlock among transactions {sorted(set(cycle))}"
+            )
+        return response
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
         intra = self.synchroniser_for(request.object_name)
         intra_response = intra.on_operation(request)
         if intra_response.blocked:
-            self.blocked_requests += 1
-            self.waits.park(
-                request.info.execution_id, transaction_id, set(intra_response.blockers)
-            )
-            cycle = self.waits.find_cycle_from(transaction_id)
-            if cycle is not None:
-                self.deadlocks_detected += 1
-                self.waits.remove_transaction(transaction_id)
-                return SchedulerResponse.abort(
-                    f"deadlock among transactions {sorted(set(cycle))}"
-                )
-            return intra_response
+            return self._park_with_deadlock_check(request, intra_response)
         if intra_response.aborted:
             return intra_response
 
         self.waits.unpark(request.info.execution_id)
-        if self.inter_object_checks and self._coordinator is not None:
-            inter_response = self._coordinator.check_step(request)
-            if not inter_response.granted:
-                return inter_response
+        if self.inter_object_checks:
+            if self._coordinator is not None:
+                inter_response = self._coordinator.check_step(request)
+                if not inter_response.granted:
+                    return inter_response
+            gate_response = self.gate.check_operation(
+                request.object_name, request.lock_item(self.level), request.info
+            )
+            if gate_response.blocked:
+                return self._park_with_deadlock_check(request, gate_response)
+            if not gate_response.granted:
+                return gate_response
         return SchedulerResponse.grant()
 
     def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
@@ -433,6 +456,7 @@ class ModularScheduler(Scheduler):
         return {
             "name": self.name,
             "level": self.level,
+            "restart_policy": self.restart_policy.name,
             "inter_object_checks": self.inter_object_checks,
             "strategies": strategies,
             "ordering_aborts": ordering_aborts,

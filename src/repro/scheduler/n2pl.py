@@ -45,8 +45,8 @@ class NestedTwoPhaseLocking(Scheduler):
 
     name = "n2pl"
 
-    def __init__(self, level: str = OPERATION_LEVEL):
-        super().__init__()
+    def __init__(self, level: str = OPERATION_LEVEL, restart_policy: Any = "immediate"):
+        super().__init__(restart_policy=restart_policy)
         if level not in (OPERATION_LEVEL, STEP_LEVEL):
             raise ValueError(f"unknown conflict level {level!r}")
         self.level = level
@@ -144,6 +144,7 @@ class NestedTwoPhaseLocking(Scheduler):
         return {
             "name": self.name,
             "level": self.level,
+            "restart_policy": self.restart_policy.name,
             "deadlocks_detected": self.deadlocks_detected,
             "blocked_requests": self.blocked_requests,
         }
@@ -154,5 +155,5 @@ class StepLevelNestedTwoPhaseLocking(NestedTwoPhaseLocking):
 
     name = "n2pl-step"
 
-    def __init__(self) -> None:
-        super().__init__(level=STEP_LEVEL)
+    def __init__(self, restart_policy: Any = "immediate") -> None:
+        super().__init__(level=STEP_LEVEL, restart_policy=restart_policy)

@@ -28,10 +28,15 @@ records issued by comparable executions never force an abort.
 NTO grants operations against uncommitted state, so a transaction can
 observe values influenced by a concurrent transaction that later aborts.
 To keep committed histories legal the scheduler runs a
-:class:`~repro.scheduler.recovery.CommitGate`: commits wait (the engine
-parks the transaction at its commit point) until the transactions whose
-effects were observed have committed, and cascade-abort when one of them
-aborted — Reed's "commit dependencies" in the terms of this code base.
+:class:`~repro.scheduler.recovery.CommitGate`.  In the default
+``gate_mode="cascade"`` commits wait (the engine parks the transaction at
+its commit point) until the transactions whose effects were observed have
+committed, and cascade-abort when one of them aborted — Reed's "commit
+dependencies" in the terms of this code base.  ``gate_mode="aca"``
+instead blocks a conflicting read of uncommitted effects at execution
+time, so commits never cascade.  How aborted transactions are
+resubmitted is the ``restart_policy`` axis (immediate / backoff /
+ordered; see :mod:`repro.scheduler.restart`).
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ from .base import (
     Scheduler,
     SchedulerResponse,
 )
-from .recovery import CommitGate
+from .recovery import CASCADE_MODE, CommitGate
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
 
@@ -68,11 +73,17 @@ class NestedTimestampOrdering(Scheduler):
 
     name = "nto"
 
-    def __init__(self, level: str = OPERATION_LEVEL):
-        super().__init__()
+    def __init__(
+        self,
+        level: str = OPERATION_LEVEL,
+        restart_policy: Any = "immediate",
+        gate_mode: str = CASCADE_MODE,
+    ):
+        super().__init__(restart_policy=restart_policy)
         if level not in (OPERATION_LEVEL, STEP_LEVEL):
             raise ValueError(f"unknown conflict level {level!r}")
         self.level = level
+        self.gate_mode = gate_mode
         self.authority = TimestampAuthority()
         self._records: dict[str, list[_StepRecord]] = defaultdict(list)
         self.timestamp_aborts = 0
@@ -80,7 +91,11 @@ class NestedTimestampOrdering(Scheduler):
 
     def _make_gate(self) -> CommitGate:
         registry = self.conflicts_for(self.level)
-        return CommitGate(lambda name: registry[name], step_level=self.level == STEP_LEVEL)
+        return CommitGate(
+            lambda name: registry[name],
+            step_level=self.level == STEP_LEVEL,
+            mode=self.gate_mode,
+        )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -125,7 +140,10 @@ class NestedTimestampOrdering(Scheduler):
                     f"timestamp order violation: conflicting step of {record.issuer_id} "
                     f"carries {record.timestamp}, requester has {timestamp}"
                 )
-        return SchedulerResponse.grant()
+        # In aca mode the gate may additionally block the step until the
+        # uncommitted writers it would observe have resolved (no-op GRANT in
+        # cascade mode).
+        return self.gate.check_operation(request.object_name, requested, request.info)
 
     def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
         timestamp = self.authority.timestamp_of(request.info.execution_id)
@@ -159,6 +177,7 @@ class NestedTimestampOrdering(Scheduler):
         return {
             "name": self.name,
             "level": self.level,
+            "restart_policy": self.restart_policy.name,
             "timestamp_aborts": self.timestamp_aborts,
             "recorded_steps": sum(len(records) for records in self._records.values()),
             **self.gate.describe(),
@@ -170,5 +189,7 @@ class StepLevelNestedTimestampOrdering(NestedTimestampOrdering):
 
     name = "nto-step"
 
-    def __init__(self) -> None:
-        super().__init__(level=STEP_LEVEL)
+    def __init__(
+        self, restart_policy: Any = "immediate", gate_mode: str = CASCADE_MODE
+    ) -> None:
+        super().__init__(level=STEP_LEVEL, restart_policy=restart_policy, gate_mode=gate_mode)

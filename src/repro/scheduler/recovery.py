@@ -8,8 +8,11 @@ its recorded return values contradict any replay of the committed
 projection and the history stops being legal (the seed's
 ``test_committed_projection_is_legal[nto]`` failure).
 
-:class:`CommitGate` closes that hole the classical way — by making
-committed histories *recoverable* — without ever blocking an operation:
+:class:`CommitGate` closes that hole; *how* is a contention-handling
+policy, selected by the gate's ``mode`` axis:
+
+**``mode="cascade"``** (the default) makes committed histories
+*recoverable* without ever blocking an operation:
 
 * every executed step is compared against the earlier steps of still-live
   transactions; a conflict records a read-from dependency (the requester
@@ -25,6 +28,18 @@ committed histories *recoverable* — without ever blocking an operation:
   cycle is also a serialisation-graph cycle, so one of the participants
   must die anyway).
 
+**``mode="aca"``** avoids cascading aborts altogether by gating
+conflicting reads at *execution* time: :meth:`CommitGate.check_operation`
+BLOCKs a step that conflicts with an earlier state-mutating step of a
+still-live transaction (the engine parks the issuing frame on those
+writers and re-awakens it when they resolve).  By the time a step
+executes, every effect it can observe is committed, so no read-from
+dependency on a live transaction is ever recorded and commits neither
+wait nor cascade.  The price is operation blocking — the scheduler's
+"never blocks an operation" property is traded away — and the dirty-read
+wait cycles that come with it, which the same waits-for graph detects and
+breaks by aborting the requester.
+
 The gate tracks only live transactions: a transaction's records, its
 dependency set and — once no live dependent references them — aborted
 markers are all dropped as transactions resolve.
@@ -37,8 +52,15 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..core.operations import LocalOperation, LocalStep
-from .base import SchedulerResponse
+from .base import ExecutionInfo, SchedulerResponse
 from .deadlock import WaitsForGraph
+
+#: Commit-time cascading (the default, legacy behaviour).
+CASCADE_MODE = "cascade"
+#: Avoid cascading aborts: gate conflicting reads at execution time.
+ACA_MODE = "aca"
+#: The gate's contention-handling modes, in registry order.
+GATE_MODES = (CASCADE_MODE, ACA_MODE)
 
 
 @dataclass
@@ -61,11 +83,24 @@ class CommitGate:
     step_level:
         When true, dependencies are induced by step conflicts (return-value
         aware); otherwise by operation conflicts.
+    mode:
+        ``"cascade"`` (default) resolves dirty reads at commit time —
+        commit-waits plus cascading aborts; ``"aca"`` prevents them at
+        execution time — :meth:`check_operation` blocks conflicting reads
+        of uncommitted effects, so commits never cascade.
     """
 
-    def __init__(self, conflicts_lookup: Callable[[str], Any], step_level: bool = True):
+    def __init__(
+        self,
+        conflicts_lookup: Callable[[str], Any],
+        step_level: bool = True,
+        mode: str = CASCADE_MODE,
+    ):
+        if mode not in GATE_MODES:
+            raise ValueError(f"unknown gate mode {mode!r}; available: {', '.join(GATE_MODES)}")
         self._conflicts_lookup = conflicts_lookup
         self._step_level = step_level
+        self.mode = mode
         self._sequence = itertools.count(1)
         self._steps_by_object: dict[str, list[_GateRecord]] = {}
         self._live: set[str] = set()
@@ -74,6 +109,7 @@ class CommitGate:
         self._waits = WaitsForGraph()
         self.cascading_aborts = 0
         self.commit_waits = 0
+        self.blocked_reads = 0
 
     # -- life cycle ----------------------------------------------------------
 
@@ -148,6 +184,60 @@ class CommitGate:
                 dependencies.add(record.transaction_id)
         records.append(_GateRecord(next(self._sequence), item, transaction_id))
 
+    # -- operation gating (aca mode) -------------------------------------------
+
+    def check_operation(
+        self,
+        object_name: str,
+        item: LocalOperation | LocalStep,
+        info: ExecutionInfo,
+    ) -> SchedulerResponse:
+        """In ``aca`` mode, keep a step from observing uncommitted effects.
+
+        BLOCKs (naming the live writers as blockers) when the requested
+        item conflicts with an earlier state-mutating step of another
+        still-live transaction; a dirty-read wait cycle — reader and
+        writer each stuck behind the other's uncommitted effects — is
+        broken by aborting the requester.  In ``cascade`` mode this is a
+        no-op GRANT: dirty reads are resolved at commit time instead.
+
+        Args:
+            object_name: the object the operation addresses.
+            item: the operation (or provisional step, at step granularity)
+                about to execute.
+            info: the issuing execution (parked per-execution, so parallel
+                siblings of one transaction wait independently).
+        """
+        if self.mode != ACA_MODE:
+            return SchedulerResponse.grant()
+        transaction_id = info.top_level_id
+        writers: set[str] = set()
+        for record in self._steps_by_object.get(object_name, ()):
+            if record.transaction_id == transaction_id:
+                continue
+            if record.transaction_id not in self._live:
+                continue  # pragma: no cover - records of resolved txns are pruned
+            if not self._mutates_state(record.item):
+                continue
+            if self._conflicting(object_name, record.item, item):
+                writers.add(record.transaction_id)
+        if not writers:
+            self._waits.unpark(info.execution_id)
+            return SchedulerResponse.grant()
+        self._waits.park(info.execution_id, transaction_id, writers)
+        cycle = self._waits.find_cycle_from(transaction_id)
+        if cycle is not None:
+            self._waits.unpark(info.execution_id)
+            return SchedulerResponse.abort(
+                f"deadlock: dirty-read wait cycle among {sorted(set(cycle))} "
+                "(aca gate)"
+            )
+        self.blocked_reads += 1
+        return SchedulerResponse.block(
+            f"aca: waiting for uncommitted writers of {object_name} to resolve",
+            blockers=writers,
+        )
+
     # -- commit arbitration ----------------------------------------------------
 
     def check_commit(self, transaction_id: str) -> SchedulerResponse:
@@ -183,6 +273,8 @@ class CommitGate:
 
     def describe(self) -> dict[str, Any]:
         return {
+            "gate_mode": self.mode,
             "cascading_aborts": self.cascading_aborts,
             "commit_waits": self.commit_waits,
+            "blocked_reads": self.blocked_reads,
         }

@@ -119,8 +119,8 @@ class SingleActiveObjectScheduler(Scheduler):
 
     name = "single-active-object"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, restart_policy: Any = "immediate") -> None:
+        super().__init__(restart_policy=restart_policy)
         # object name -> {transaction id -> mode}
         self._object_locks: dict[str, dict[str, str]] = defaultdict(dict)
         self.waits = WaitsForGraph()
@@ -214,6 +214,7 @@ class SingleActiveObjectScheduler(Scheduler):
     def describe(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "restart_policy": self.restart_policy.name,
             "deadlocks_detected": self.deadlocks_detected,
             "blocked_requests": self.blocked_requests,
             "sibling_ordering_aborts": self.sibling_ordering_aborts,

@@ -36,6 +36,18 @@ Execution model
   subtree's footprint, not the length of the whole run; the legacy
   full-replay strategy is kept (``undo="replay"``) for benchmarking, and
   ``check_undo=True`` runs both and verifies they agree after every abort.
+* *When* an aborted transaction is resubmitted is decided by the
+  scheduler's :class:`~repro.scheduler.restart.RestartPolicy`: a zero
+  delay restarts within the same tick (the ``immediate`` policy — the
+  classic storm-prone behaviour), a positive delay puts the restart on
+  the engine's *delayed-restart queue*, a min-heap keyed by due tick.
+  Due restarts are released at the top of every scheduling iteration; a
+  waiting restart consumes no ticks, and when nothing is runnable but a
+  restart is pending the engine fast-forwards the clock to the next due
+  tick instead of force-waking parked frames.  The transaction's
+  *lineage* (its original submission index) is preserved across attempts
+  so seniority-based policies (``ordered``) can privilege old
+  transactions.
 
 The recorded history contains the steps of aborted attempts as well; the
 :class:`~repro.simulation.metrics.RunResult` exposes the committed
@@ -44,6 +56,8 @@ projection, which is what serialisability certification operates on.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any
@@ -54,6 +68,7 @@ from ..core.operations import LocalOperation, LocalStep
 from ..core.state import ObjectState, UndoLog
 from ..objectbase.base import ObjectBase
 from ..scheduler.base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
+from ..scheduler.restart import ImmediateRestart, RestartPolicy
 from .events import (
     ABORTED,
     BEGIN,
@@ -64,6 +79,7 @@ from .events import (
     GRANTED,
     INVOKE,
     RESTARTED,
+    RESTART_SCHEDULED,
     WOKEN,
     Trace,
     TraceEvent,
@@ -128,8 +144,10 @@ class SimulationEngine:
 
     Engines are single-use: construct, :meth:`submit` (or
     :meth:`submit_all`) the transactions, then :meth:`run` exactly once.
-    All randomness — the interleaving choice each tick — comes from the
-    seeded RNG, so a run is a pure function of ``(object_base, scheduler,
+    All randomness — the interleaving choice each tick, plus whatever the
+    scheduler's restart policy draws (randomized backoff is re-seeded
+    deterministically from the engine seed at construction) — comes from
+    seeded RNGs, so a run is a pure function of ``(object_base, scheduler,
     submissions, seed, options)``; the scenario-sweep layer
     (:mod:`repro.sweep`) relies on this for its serial/parallel
     determinism guarantee.
@@ -212,11 +230,25 @@ class SimulationEngine:
         self._pending_specs: list[TransactionSpec] = []
         # Parked-frame reverse index: blocker key -> ids of frames parked on it.
         self._parked_by_key: dict[str, set[str]] = {}
+        # Delayed-restart queue: (due tick, sequence, spec, attempt, lineage)
+        # min-heap; the sequence keeps equal due ticks FIFO and deterministic.
+        self._delayed_restarts: list[tuple[int, int, TransactionSpec, int, int]] = []
+        self._restart_sequence = itertools.count()
+        # Lineage = original submission index, preserved across restarts so
+        # the restart policy can reason about transaction seniority.
+        self._lineage_counter = itertools.count()
+        self._lineage_of: dict[str, int] = {}
         self.metrics = RunMetrics()
         self._tick = 0
         self._finished = False
 
         self.scheduler.attach(object_base)
+        # The scheduler transports the restart policy as configuration; the
+        # engine drives it (and seeds its randomness deterministically).
+        self.restart_policy: RestartPolicy = (
+            getattr(scheduler, "restart_policy", None) or ImmediateRestart()
+        )
+        self.restart_policy.bind(seed)
 
     # ------------------------------------------------------------------
     # submission
@@ -269,12 +301,26 @@ class SimulationEngine:
         if self._finished:
             raise SimulationError("engine instances are single-use; create a new one")
         for spec in self._pending_specs:
-            self._start_transaction(spec, attempt=1)
+            self._start_transaction(spec, attempt=1, lineage=next(self._lineage_counter))
         self._pending_specs = []
 
-        while self._frames and self._tick < self.max_ticks:
+        while (self._frames or self._delayed_restarts) and self._tick < self.max_ticks:
+            self._release_due_restarts()
             frame_id = self._choose_frame()
             if frame_id is None:
+                if self._delayed_restarts:
+                    # Nothing is runnable until a delayed restart matures:
+                    # fast-forward the clock to the next due tick (the wait
+                    # costs time, not scheduling decisions).  The jump is
+                    # clamped to the tick budget so a truncated run never
+                    # reports a makespan beyond max_ticks.
+                    self._tick = min(
+                        max(self._tick, self._delayed_restarts[0][0]), self.max_ticks
+                    )
+                    self.metrics.total_ticks = self._tick
+                    if self._tick >= self.max_ticks:
+                        break
+                    continue
                 # No runnable frame.  If frames are parked, a wake-up was
                 # missed (a scheduler bug) or the wait cannot resolve; force
                 # a retry round rather than dropping the transactions.
@@ -404,7 +450,7 @@ class SimulationEngine:
         if self._trace is not None:
             self._trace.record(TraceEvent(self._tick, kind, execution_id, object_name, detail))
 
-    def _start_transaction(self, spec: TransactionSpec, attempt: int) -> None:
+    def _start_transaction(self, spec: TransactionSpec, attempt: int, lineage: int) -> None:
         definition = self.object_base.environment.method(spec.method_name)
         execution = self._builder.begin_top_level(spec.method_name)
         info = ExecutionInfo(
@@ -420,8 +466,18 @@ class SimulationEngine:
         frame.generator = definition.body(context, *spec.arguments)
         self._frames[info.execution_id] = frame
         self._executions_by_transaction[info.execution_id] = {info.execution_id}
+        self._lineage_of[info.execution_id] = lineage
+        if attempt == 1:
+            self.restart_policy.on_submit(lineage)
         self.scheduler.on_transaction_begin(info)
         self._record(BEGIN if attempt == 1 else RESTARTED, info.execution_id, detail=spec.label)
+
+    def _release_due_restarts(self) -> None:
+        """Resubmit every delayed restart whose due tick has been reached."""
+        while self._delayed_restarts and self._delayed_restarts[0][0] <= self._tick:
+            _, _, spec, attempt, lineage = heapq.heappop(self._delayed_restarts)
+            self.metrics.restarts += 1
+            self._start_transaction(spec, attempt=attempt, lineage=lineage)
 
     def _spawn_child(self, parent: _Frame, invocation: InvokeRequest, after) -> _Frame:
         definition = self.object_base.method(invocation.object_name, invocation.method_name)
@@ -630,6 +686,9 @@ class SimulationEngine:
         self._record(COMMITTED, frame.execution_id, detail=str(return_value))
         self._frames.pop(frame.execution_id, None)
         self._undo_log.forget_transaction(frame.info.top_level_id)
+        lineage = self._lineage_of.pop(frame.execution_id, None)
+        if lineage is not None:
+            self.restart_policy.on_finished(lineage)
         # The commit released the transaction's locks (and resolved any
         # read-from dependencies on it): wake its waiters, then drop the
         # execution index — a committed transaction can never abort, so the
@@ -702,14 +761,32 @@ class SimulationEngine:
         self._drain_wakeups(subtree_ids)
         self._executions_by_transaction.pop(top_level_id, None)
 
-        # Restart the transaction if its spec allows it.
+        # Restart the transaction if its spec allows it; *when* is the
+        # restart policy's call — zero delay restarts within this tick
+        # (the legacy behaviour), a positive delay queues the respawn on
+        # the delayed-restart heap.
         spec = top_frame.spec if top_frame is not None else None
         attempt = top_frame.attempt if top_frame is not None else 1
+        lineage = self._lineage_of.pop(top_level_id, None)
         if spec is not None and attempt <= self.max_restarts:
-            self.metrics.restarts += 1
-            self._start_transaction(spec, attempt=attempt + 1)
+            if lineage is None:
+                lineage = next(self._lineage_counter)
+            delay = max(0, int(self.restart_policy.delay(lineage, attempt, reason)))
+            if delay == 0:
+                self.metrics.restarts += 1
+                self._start_transaction(spec, attempt=attempt + 1, lineage=lineage)
+            else:
+                self.metrics.delayed_restarts += 1
+                self.metrics.restart_delay_ticks += delay
+                heapq.heappush(
+                    self._delayed_restarts,
+                    (self._tick + delay, next(self._restart_sequence), spec, attempt + 1, lineage),
+                )
+                self._record(RESTART_SCHEDULED, top_level_id, detail=f"+{delay} ticks: {reason}")
         else:
             self.metrics.gave_up += 1
+            if lineage is not None:
+                self.restart_policy.on_finished(lineage)
             self._record(GAVE_UP, top_level_id, detail=reason)
 
     def _undo_states(self, top_level_id: str, subtree_ids: set[str]) -> int:

@@ -39,6 +39,7 @@ BLOCKED = "blocked"
 WOKEN = "woken"
 ABORTED = "aborted"
 RESTARTED = "restarted"
+RESTART_SCHEDULED = "restart-scheduled"
 COMPLETED = "completed"
 COMMITTED = "committed"
 GAVE_UP = "gave-up"

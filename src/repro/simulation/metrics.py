@@ -17,6 +17,16 @@ scheduler.  ``parks``/``wakes`` count the park/wake transitions themselves,
 and ``commit_wait_ticks`` separately accounts for time spent parked at the
 commit point waiting for read-from dependencies to resolve (an optimistic
 scheduler that never blocks an *operation* still reports 0 blocked ticks).
+
+Restart policies (:mod:`repro.scheduler.restart`) add their own counters:
+``restarts`` counts resubmissions actually performed, ``delayed_restarts``
+the subset that waited on the engine's delayed-restart queue, and
+``restart_delay_ticks`` the total scheduled waiting time.  A delayed
+restart consumes no scheduling decisions while waiting; its delay overlaps
+with other frames' work and only stretches the makespan when nothing else
+is runnable (the engine then fast-forwards the clock to the next due
+restart).  ``commit_rate`` — committed over submitted — is the headline
+policy metric: cascade storms collapse it.
 """
 
 from __future__ import annotations
@@ -38,6 +48,8 @@ class RunMetrics:
     aborted_attempts: int = 0
     gave_up: int = 0
     restarts: int = 0
+    delayed_restarts: int = 0
+    restart_delay_ticks: int = 0
     local_steps: int = 0
     wasted_steps: int = 0
     blocked_ticks: int = 0
@@ -59,6 +71,19 @@ class RunMetrics:
         if self.total_ticks == 0:
             return 0.0
         return self.committed / self.total_ticks
+
+    @property
+    def commit_rate(self) -> float:
+        """Committed transactions as a fraction of submissions.
+
+        The headline restart-policy metric: a cascade storm shows up as a
+        collapse of this rate (most submissions exhaust their restart
+        budget and give up), independent of the machine the run executed
+        on.
+        """
+        if self.submitted == 0:
+            return 0.0
+        return self.committed / self.submitted
 
     @property
     def abort_rate(self) -> float:
@@ -94,6 +119,8 @@ class RunMetrics:
             "aborted_attempts": self.aborted_attempts,
             "gave_up": self.gave_up,
             "restarts": self.restarts,
+            "delayed_restarts": self.delayed_restarts,
+            "restart_delay_ticks": self.restart_delay_ticks,
             "local_steps": self.local_steps,
             "wasted_steps": self.wasted_steps,
             "blocked_ticks": self.blocked_ticks,
@@ -106,6 +133,7 @@ class RunMetrics:
             "wait_ticks": self.wait_ticks,
             "commit_wait_ticks": self.commit_wait_ticks,
             "throughput": self.throughput,
+            "commit_rate": self.commit_rate,
             "abort_rate": self.abort_rate,
             "blocked_fraction": self.blocked_fraction,
             "wasted_fraction": self.wasted_fraction,

@@ -115,7 +115,9 @@ def summarise_run(
     row: dict[str, Any] = {
         "scheduler": scheduler_name,
         "committed": metrics.committed,
+        "commit_rate": metrics.commit_rate,
         "aborts": metrics.aborted_attempts,
+        "gave_up": metrics.gave_up,
         "deadlocks": metrics.aborts_by_reason.get("deadlock", 0),
         "ts_aborts": metrics.aborts_by_reason.get("timestamp", 0),
         "validation_aborts": metrics.aborts_by_reason.get("validation", 0),
@@ -127,12 +129,17 @@ def summarise_run(
         "parks": metrics.parks,
         "wakes": metrics.wakes,
         "wait_ticks": metrics.wait_ticks,
+        "restarts": metrics.restarts,
+        "delayed_restarts": metrics.delayed_restarts,
+        "restart_delay_ticks": metrics.restart_delay_ticks,
         "wasted_fraction": metrics.wasted_fraction,
         "throughput": metrics.throughput,
     }
     if certify:
         report = certify_run(result, check_legality=check_legality)
         row["serialisable"] = report.serialisable
+        if check_legality:
+            row["legal"] = report.legal
     return row
 
 

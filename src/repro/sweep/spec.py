@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..core.errors import SweepSpecError
-from ..scheduler import SCHEDULER_FACTORIES
+from ..scheduler import GATE_MODES, SCHEDULER_FACTORIES, make_restart_policy
 from ..simulation import SimulationEngine
 from ..simulation.workloads import WORKLOAD_REGISTRY
 
@@ -71,7 +71,9 @@ _MAPPING_FIELDS = frozenset({"workload_params", "scheduler_kwargs", "engine_para
 RESERVED_ROW_COLUMNS = frozenset(
     {
         "committed",
+        "commit_rate",
         "aborts",
+        "gave_up",
         "deadlocks",
         "ts_aborts",
         "validation_aborts",
@@ -83,9 +85,13 @@ RESERVED_ROW_COLUMNS = frozenset(
         "parks",
         "wakes",
         "wait_ticks",
+        "restarts",
+        "delayed_restarts",
+        "restart_delay_ticks",
         "wasted_fraction",
         "throughput",
         "serialisable",
+        "legal",
     }
 )
 
@@ -199,6 +205,21 @@ class ScenarioSpec:
                 f"scheduler {self.scheduler!r} rejects scheduler_kwargs "
                 f"{sorted(self.scheduler_kwargs)}: {exc}"
             ) from exc
+        # The cross-cutting scheduler axes carry registry *values*, not just
+        # keyword names; validate them eagerly too so a typo'd policy name,
+        # policy parameter or gate mode fails at spec construction, not
+        # inside a worker.
+        policy = self.scheduler_kwargs.get("restart_policy")
+        if policy is not None:
+            try:
+                make_restart_policy(policy)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SweepSpecError(f"invalid restart policy {policy!r}: {exc}") from exc
+        gate_mode = self.scheduler_kwargs.get("gate_mode")
+        if gate_mode is not None and gate_mode not in GATE_MODES:
+            raise SweepSpecError(
+                f"unknown gate mode {gate_mode!r}; available: {', '.join(GATE_MODES)}"
+            )
         shadowing = sorted(set(self.tags) & RESERVED_ROW_COLUMNS)
         if shadowing:
             raise SweepSpecError(
