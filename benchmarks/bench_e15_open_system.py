@@ -1,0 +1,232 @@
+"""E15 — open-system workloads: arrival streams, latency, and bounded state.
+
+Every earlier experiment ran a *closed* system: a fixed batch submitted at
+tick 0 and drained.  E15 measures the schedulers the way a production
+object base would meet them — transactions *arriving over time* from a
+seeded :class:`~repro.simulation.arrivals.ArrivalProcess` — and sweeps
+the arrival rate λ towards the engine's service capacity:
+
+* the engine resolves one scheduling decision per tick, so its raw
+  capacity on this workload (~14 productive ticks per transaction) is
+  roughly ``μ ≈ 0.065`` transactions/tick; the poisson points at
+  λ = 0.02 / 0.045 / 0.055 step utilisation from ~30% to ~85%, and the
+  queueing-theory knee shows up exactly as expected: mean latency grows
+  gently until ~70% utilisation and then turns sharply upward
+  approaching capacity (beyond it the optimistic schedulers tip into a
+  restart-thrash regime whose makespan diverges — the cliff E15
+  deliberately stops short of), while a ``bursty`` stream (16
+  back-to-back arrivals per burst) shows the flash-crowd version of the
+  same queueing at a *lower* average rate;
+* each scenario streams **2,000 arrivals** through a bounded-memory
+  engine: the live-state gauge (scheduler records + candidate edges +
+  undo segments + parked frames, sampled at every garbage-collection
+  pass) must stay within a constant multiple of the in-flight peak —
+  O(in-flight), *not* O(total arrivals) — which is asserted on every
+  row;
+* three scheduler configurations run the identical stream: ``n2pl``,
+  ``nto-step`` and the optimistic ``certifier`` (all with ``backoff``
+  restarts; immediate restarts thrash at these concurrencies, see E14).
+
+Rows are a pure function of the spec (the arrival schedule is seeded),
+so ``commit_rate`` and ``throughput`` are machine-independent and
+``compare_bench.py`` guards them against the committed
+``BENCH_e15_open_system.json`` baseline.  Post-hoc certification is off
+in this sweep — certifying a 2,000-transaction history is an
+experiment-sized cost of its own (see the E12 scaling notes) — but the
+same streaming path is certified end-to-end at smaller sizes by
+``tests/simulation/test_open_system.py``, including ``check=True``
+oracle cross-checks of the garbage collector.
+
+``REPRO_E15_ARRIVALS`` overrides the stream length for local iteration;
+rows are only appended to the trajectory file when the full 2,000-arrival
+sweep ran, so shortened smoke runs never pollute the baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.sweep import Axis, AxisPoint, ScenarioSpec, SweepSpec
+
+from .harness import append_bench_rows, print_experiment, run_sweep_rows
+
+COLUMNS = [
+    "scheduler", "arrival", "committed", "commit_rate", "arrived",
+    "in_flight_peak", "mean_latency", "latency_max", "live_state_peak",
+    "live_state_ratio", "saturated", "makespan", "throughput",
+]
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_e15_open_system.json"
+
+#: Arrivals per scenario (the acceptance floor is 2,000).
+DEFAULT_ARRIVALS = 2000
+ARRIVALS = int(os.environ.get("REPRO_E15_ARRIVALS", DEFAULT_ARRIVALS))
+
+#: A scenario counts as saturated when its mean latency exceeds this
+#: multiple of the same scheduler's latency at the lightest arrival rate.
+SATURATION_FACTOR = 4.0
+
+#: Peak live state may exceed the retention window — the in-flight peak
+#: plus at most ``gc_interval`` resolved-but-not-yet-collected
+#: transactions (the gauge samples just before each pruning pass) — by at
+#: most this factor: records scale with the steps *per* retained
+#: transaction, never with the total arrival count.
+LIVE_STATE_RATIO_BOUND = 20.0
+
+GC_INTERVAL = 64
+
+ARRIVAL_POINTS = (
+    AxisPoint(
+        "poisson@0.02",
+        {
+            "workload_params.arrival": "poisson",
+            "workload_params.arrival_params": {"rate": 0.02},
+        },
+    ),
+    AxisPoint(
+        "poisson@0.045",
+        {
+            "workload_params.arrival": "poisson",
+            "workload_params.arrival_params": {"rate": 0.045},
+        },
+    ),
+    AxisPoint(
+        "poisson@0.055",
+        {
+            "workload_params.arrival": "poisson",
+            "workload_params.arrival_params": {"rate": 0.055},
+        },
+    ),
+    AxisPoint(
+        "bursty@16x640",
+        {
+            "workload_params.arrival": "bursty",
+            "workload_params.arrival_params": {
+                "burst": 16,
+                "mean_gap": 640,
+                "within_gap": 8,
+            },
+        },
+    ),
+)
+
+SCHEDULER_POINTS = (
+    AxisPoint(
+        "n2pl",
+        {
+            "scheduler": "n2pl",
+            "scheduler_kwargs.restart_policy": "backoff",
+        },
+    ),
+    AxisPoint(
+        "nto-step",
+        {
+            "scheduler": "nto-step",
+            "scheduler_kwargs.restart_policy": "backoff",
+        },
+    ),
+    AxisPoint(
+        "certifier",
+        {
+            "scheduler": "certifier",
+            "scheduler_kwargs.restart_policy": "backoff",
+        },
+    ),
+)
+
+
+def make_sweep(arrivals: int = ARRIVALS) -> SweepSpec:
+    return SweepSpec(
+        name="e15_open_system",
+        base=ScenarioSpec(
+            workload="hotspot-stream",
+            scheduler="n2pl",
+            seed=1515,
+            workload_params={
+                "inner_params": {
+                    "transactions": arrivals,
+                    "hot_objects": 2,
+                    "cold_objects": 128,
+                    "operations_per_transaction": 2,
+                    "hot_probability": 0.05,
+                    "use_service_layer": False,
+                    "seed": 1515,
+                },
+                "arrival": "poisson",
+                "arrival_params": {"rate": 0.02},
+            },
+            engine_params={"gc_interval": GC_INTERVAL},
+            certify=False,
+        ),
+        axes=(
+            Axis("scheduler", SCHEDULER_POINTS, target="scheduler"),
+            Axis("arrival", ARRIVAL_POINTS),
+        ),
+    )
+
+
+def run_experiment(arrivals: int = ARRIVALS) -> list[dict]:
+    rows = run_sweep_rows(make_sweep(arrivals))
+    # Per-scheduler saturation flag: latency vs the lightest poisson point.
+    lightest = {
+        row["scheduler"]: row["mean_latency"]
+        for row in rows
+        if row["arrival"] == ARRIVAL_POINTS[0].label
+    }
+    for row in rows:
+        floor = max(lightest.get(row["scheduler"], 0.0), 1e-9)
+        row["experiment"] = "e15_open_system"
+        row["saturated"] = bool(row["mean_latency"] > SATURATION_FACTOR * floor)
+    return rows
+
+
+def write_bench_json(rows: list[dict], path: Path = BENCH_JSON) -> None:
+    """Append this sweep's rows to the recorded trajectory (full runs only).
+
+    Gated on the rows themselves, not on the environment: a shortened
+    stream (however it was requested) must never enter the trajectory the
+    regression gate compares against.
+    """
+    if rows and all(row.get("arrived") == DEFAULT_ARRIVALS for row in rows):
+        append_bench_rows(path, "e15_open_system", rows)
+
+
+def test_e15_open_system(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_experiment("E15: open-system arrival streams (saturation & latency)", rows, COLUMNS)
+    write_bench_json(rows)
+    for row in rows:
+        label = f"{row['scheduler']}/{row['arrival']}"
+        # Every arrival enters the system and (with backoff restarts at
+        # these utilisations) every transaction eventually commits.
+        assert row["arrived"] == ARRIVALS, f"{label}: stream released {row['arrived']}"
+        assert row["committed"] == ARRIVALS, (
+            f"{label}: only {row['committed']}/{ARRIVALS} commits"
+        )
+        # The bounded-memory claim: peak retained live state tracks the
+        # retention window (in-flight + one GC interval), not the total
+        # arrival count.
+        window = max(1, row["in_flight_peak"]) + GC_INTERVAL
+        assert row["live_state_peak"] <= LIVE_STATE_RATIO_BOUND * window, (
+            f"{label}: live-state peak {row['live_state_peak']} exceeds "
+            f"{LIVE_STATE_RATIO_BOUND}x the retention window {window} "
+            f"(in-flight peak {row['in_flight_peak']} + gc_interval {GC_INTERVAL})"
+        )
+    # The latency knee: every scheduler's near-capacity poisson point is
+    # strictly slower than its lightest one.
+    for scheduler in ("n2pl", "nto-step", "certifier"):
+        by_arrival = {
+            row["arrival"]: row for row in rows if row["scheduler"] == scheduler
+        }
+        light = by_arrival[ARRIVAL_POINTS[0].label]["mean_latency"]
+        heavy = by_arrival[ARRIVAL_POINTS[2].label]["mean_latency"]
+        assert heavy > light, f"{scheduler}: no latency growth towards capacity"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
+    experiment_rows = run_experiment()
+    print_experiment(
+        "E15: open-system arrival streams (saturation & latency)", experiment_rows, COLUMNS
+    )
+    write_bench_json(experiment_rows)

@@ -3,12 +3,17 @@
 The watched benchmarks append one row per configuration to their
 ``BENCH_*.json`` trajectory on every sweep, so the first recorded row per
 configuration is the committed baseline and the last is the sweep that
-just ran.  This script compares the two and *warns* (GitHub Actions
-``::warning::`` annotations; exit code stays 0) when a watched ratio
+just ran.  This script compares the two and reports when a watched ratio
 dropped by more than ``THRESHOLD`` — the watched columns are
 machine-independent by construction, so a drop means behaviour (or the
 fast path) regressed, wherever the sweep ran.  Run it as
 ``python -m benchmarks.compare_bench``.
+
+By default regressions *warn* (GitHub Actions ``::warning::``
+annotations; exit code stays 0).  With ``--fail-on-regression`` they
+become ``::error::`` annotations and the exit code is 1 when any
+regression fired, which is how CI gates pull requests while staying
+warn-only on pushes.
 
 Watched files:
 
@@ -18,6 +23,9 @@ Watched files:
 * ``BENCH_e14_restart_policies.json`` — each restart/contention policy's
   ``recovery_ratio`` (its commit rate over the storm baseline's), a pure
   function of the deterministic scenario spec.
+* ``BENCH_e15_open_system.json`` — each open-system scenario's
+  ``commit_rate`` and ``throughput`` (committed over makespan), pure
+  functions of the deterministic arrival stream.
 """
 
 from __future__ import annotations
@@ -28,17 +36,25 @@ from dataclasses import dataclass
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
-THRESHOLD = 1.30  # warn when a watched ratio degrades beyond 30%
+THRESHOLD = 1.30  # flag when a watched ratio degrades beyond 30%
 
 
 @dataclass(frozen=True)
 class Watch:
-    """One benchmark trajectory file and the ratio columns to guard."""
+    """One benchmark trajectory file and the ratio columns to guard.
+
+    ``noise_floor`` optionally names a (column, minimum) pair the
+    *baseline* row must satisfy for its configuration to be compared at
+    all: wall-time ratios built on sub-millisecond measurements are pure
+    scheduling jitter, and gating pull requests on jitter would make CI
+    flaky.  Configurations below the floor count as not-compared.
+    """
 
     name: str
     path: Path
     key_fields: tuple[str, ...]
     columns: tuple[str, ...]
+    noise_floor: tuple[str, float] | None = None
 
 
 WATCHES = (
@@ -47,12 +63,22 @@ WATCHES = (
         path=BENCH_DIR / "BENCH_e12_certification_scaling.json",
         key_fields=("scheduler", "transactions"),
         columns=("speedup_indexed", "speedup_incremental"),
+        # The certifier configurations' legacy certification takes well
+        # under a millisecond — their speedup ratios are noise; only the
+        # meaningfully-timed configurations gate.
+        noise_floor=("certify_legacy_seconds", 0.05),
     ),
     Watch(
         name="E14",
         path=BENCH_DIR / "BENCH_e14_restart_policies.json",
         key_fields=("policy",),
         columns=("recovery_ratio",),
+    ),
+    Watch(
+        name="E15",
+        path=BENCH_DIR / "BENCH_e15_open_system.json",
+        key_fields=("scheduler", "arrival"),
+        columns=("commit_rate", "throughput"),
     ),
 )
 
@@ -84,12 +110,21 @@ def compare(watch: Watch) -> tuple[list[str], list[str], int]:
         if len(config_rows) < 2:
             continue  # only the baseline sweep is recorded
         baseline, latest = config_rows[0], config_rows[-1]
+        if watch.noise_floor is not None:
+            floor_column, floor = watch.noise_floor
+            floor_value = baseline.get(floor_column)
+            if not isinstance(floor_value, (int, float)) or floor_value < floor:
+                continue  # measurement too small to carry signal
         label = "/".join(str(part) for part in key)
         config_compared = False
         for column in watch.columns:
             before = baseline.get(column)
             after = latest.get(column)
             if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+                continue
+            if isinstance(before, bool) or isinstance(after, bool):
+                continue
+            if before != before or after != after:  # NaN: every compare is false
                 continue
             if before <= 0:
                 continue
@@ -104,15 +139,22 @@ def compare(watch: Watch) -> tuple[list[str], list[str], int]:
     return [], warnings, compared
 
 
-def report(watch: Watch) -> int:
-    """Print one watch's verdicts; returns the number of warnings."""
+def report(watch: Watch, *, strict: bool = False) -> int:
+    """Print one watch's verdicts; returns the number of regressions.
+
+    Args:
+        watch: the trajectory file and columns to compare.
+        strict: annotate regressions as ``::error::`` instead of
+            ``::warning::`` (the caller decides whether to fail on them).
+    """
+    annotation = "error" if strict else "warning"
     notices, warnings, compared = compare(watch)
     for message in notices:
         print(f"{watch.name} comparison skipped: {message}")
     for message in warnings:
-        print(f"::warning::{watch.name} ratio regression: {message}")
+        print(f"::{annotation}::{watch.name} ratio regression: {message}")
     if warnings:
-        print(f"{watch.name}: {len(warnings)} regression warning(s); see above.")
+        print(f"{watch.name}: {len(warnings)} regression(s); see above.")
     elif not notices:
         if compared:
             print(
@@ -128,20 +170,35 @@ def report(watch: Watch) -> int:
     return len(warnings)
 
 
-def main() -> int:
-    if len(sys.argv) > 1:
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    strict = "--fail-on-regression" in arguments
+    if strict:
+        arguments.remove("--fail-on-regression")
+    if arguments:
         # Explicit path: compare it with the watch whose file name matches,
         # defaulting to the E12 shape for unknown files (backward compat).
-        path = Path(sys.argv[1])
+        path = Path(arguments[0])
         matching = next((w for w in WATCHES if w.path.name == path.name), WATCHES[0])
         watches = (
-            Watch(matching.name, path, matching.key_fields, matching.columns),
+            Watch(
+                matching.name,
+                path,
+                matching.key_fields,
+                matching.columns,
+                matching.noise_floor,
+            ),
         )
     else:
         watches = WATCHES
-    for watch in watches:
-        report(watch)
-    return 0  # warn-only: never fail the build
+    regressions = sum(report(watch, strict=strict) for watch in watches)
+    if strict and regressions:
+        print(
+            f"{regressions} benchmark regression(s) beyond the {THRESHOLD:.2f}x "
+            "threshold; failing (--fail-on-regression)."
+        )
+        return 1
+    return 0  # without --fail-on-regression, regressions only warn
 
 
 if __name__ == "__main__":

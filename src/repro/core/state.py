@@ -180,6 +180,38 @@ class UndoLog:
         """
         self._touched_by_transaction.pop(top_level_id, None)
 
+    def collect(self) -> int:
+        """Drop each object's committed prefix; returns the removed count.
+
+        An undo suffix always starts at the aborting transaction's first
+        entry on the object, and only transactions still in the
+        touched-object index (the live ones) can abort — so the leading
+        entries owned exclusively by forgotten (committed) transactions
+        can never be read again, neither as a rollback snapshot (the
+        suffix's own first ``pre_state`` covers them) nor as re-applied
+        survivors.  Pruning them is what keeps undo segments O(in-flight)
+        on long streaming runs; a live straggler pins at most the entries
+        behind its own first step.
+        """
+        removed = 0
+        for object_name in list(self._by_object):
+            log = self._by_object[object_name]
+            first_live = next(
+                (
+                    index
+                    for index, entry in enumerate(log)
+                    if entry.top_level_id in self._touched_by_transaction
+                ),
+                len(log),
+            )
+            if first_live:
+                removed += first_live
+                if first_live == len(log):
+                    del self._by_object[object_name]
+                else:
+                    del log[:first_live]
+        return removed
+
     def undo(
         self,
         top_level_id: str,

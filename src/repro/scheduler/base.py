@@ -274,6 +274,35 @@ class Scheduler:
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         """A top-level transaction aborted; ``subtree`` lists its executions."""
 
+    # -- live-state garbage collection -------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Drop retained state that nothing live (or future) can depend on.
+
+        Called by the engine on its garbage-collection cadence during long
+        (streaming) runs.  Schedulers whose records outlive the issuing
+        transaction — the certifier's committed step records, NTO's
+        timestamp records — override this to prune what can no longer
+        influence any decision; lock-based schedulers release everything
+        at transaction end and need not.  Must never change the outcome
+        of any future request: garbage collection is invisible except in
+        memory and in :meth:`live_state_size`.
+
+        Returns:
+            The number of pruned items (0 by default).
+        """
+        return 0
+
+    def live_state_size(self) -> int:
+        """The number of retained per-transaction items, for the gauge.
+
+        The engine samples this (plus its own undo-log and parked-frame
+        counts) at every garbage-collection pass; on a bounded-memory
+        stream the sample stays proportional to the in-flight population.
+        The base scheduler retains nothing.
+        """
+        return 0
+
     # -- descriptive ------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:

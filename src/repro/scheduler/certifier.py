@@ -139,9 +139,24 @@ class OptimisticCertifier(Scheduler):
         self._nodes_by_transaction: dict[str, set[str]] = defaultdict(set)
         self._pending_edges: dict[str, set[_CandidateEdge]] = defaultdict(set)
         self._touched_objects: dict[str, set[str]] = defaultdict(set)
+        self._live_transactions: set[str] = set()
+        # Begin/resolve stamps (drawn from the step sequence counter) and
+        # the nodes/objects of *retained* committed transactions, kept so
+        # collect_garbage can decide overlap and clean up; all three are
+        # dropped when the transaction's records are pruned.
+        self._begin_seq: dict[str, int] = {}
+        self._resolve_seq: dict[str, int] = {}
+        self._committed_nodes: dict[str, set[str]] = {}
+        self._committed_touched: dict[str, set[str]] = {}
+        # Ids whose records were garbage-collected — tracked only under
+        # check=True so the legacy oracle comparison can exclude edges the
+        # re-enumeration can no longer see (an unbounded id set is fine in
+        # a testing mode).
+        self._pruned_committed: set[str] | None = set() if check else None
         self.validation_aborts = 0
         self.classified_pairs = 0
         self.commit_conflict_calls = 0
+        self.gc_pruned_records = 0
         self.gate = self._make_gate()
 
     def _make_gate(self) -> CommitGate:
@@ -161,13 +176,23 @@ class OptimisticCertifier(Scheduler):
         self._nodes_by_transaction = defaultdict(set)
         self._pending_edges = defaultdict(set)
         self._touched_objects = defaultdict(set)
+        self._live_transactions = set()
+        self._begin_seq = {}
+        self._resolve_seq = {}
+        self._committed_nodes = {}
+        self._committed_touched = {}
+        self._pruned_committed = set() if self.check else None
         self.validation_aborts = 0
         self.classified_pairs = 0
         self.commit_conflict_calls = 0
+        self.gc_pruned_records = 0
         self.gate = self._make_gate()
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
-        self.gate.begin(info.top_level_id)
+        transaction_id = info.top_level_id
+        self._live_transactions.add(transaction_id)
+        self._begin_seq[transaction_id] = next(self._sequence)
+        self.gate.begin(transaction_id)
 
     # -- execution phase ----------------------------------------------------------
 
@@ -262,6 +287,11 @@ class OptimisticCertifier(Scheduler):
         return edges, owner_of
 
     def _check_against_legacy(self, candidate_id: str, active: list[_CandidateEdge]) -> None:
+        # Edges whose other side's records were garbage-collected cannot be
+        # re-derived by the legacy re-enumeration (the steps are gone);
+        # compare only what both sides can still see.
+        pruned = self._pruned_committed or set()
+        active = [edge for edge in active if edge.other(candidate_id) not in pruned]
         legacy_edges, legacy_owner_of = self._precedence_edges_legacy(candidate_id)
         incremental_edges = {(edge.source, edge.target) for edge in active}
         if incremental_edges != legacy_edges:
@@ -337,14 +367,22 @@ class OptimisticCertifier(Scheduler):
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
         transaction_id = info.top_level_id
         self._committed.add(transaction_id)
-        # The nodes stay in the committed graph; only the abort-cleanup
-        # index is released (a committed transaction never aborts).
-        self._nodes_by_transaction.pop(transaction_id, None)
+        self._live_transactions.discard(transaction_id)
+        self._resolve_seq[transaction_id] = next(self._sequence)
+        # The nodes stay in the committed graph; ownership moves to the
+        # retained-committed index so collect_garbage can remove them once
+        # nothing live can reach them (a committed transaction never
+        # aborts, so the abort-cleanup index is done with them).
+        self._committed_nodes[transaction_id] = self._nodes_by_transaction.pop(
+            transaction_id, set()
+        )
         # The transaction never revalidates, so its own edge file is done;
         # edges shared with still-live peers remain filed under the peer.
         self._pending_edges.pop(transaction_id, None)
-        for object_name in self._touched_objects.pop(transaction_id, ()):
+        touched = self._touched_objects.pop(transaction_id, set())
+        for object_name in touched:
             self._prune_dominated_records(object_name)
+        self._committed_touched[transaction_id] = touched
         self._note_wakeups(self.gate.finish(transaction_id, committed=True))
 
     def _prune_dominated_records(self, object_name: str) -> None:
@@ -385,6 +423,8 @@ class OptimisticCertifier(Scheduler):
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         transaction_id = info.top_level_id
+        self._live_transactions.discard(transaction_id)
+        self._begin_seq.pop(transaction_id, None)
         # Abort cleanup touches only the objects the transaction used.
         for object_name in self._touched_objects.pop(transaction_id, ()):
             records = self._steps_by_object.get(object_name)
@@ -408,6 +448,120 @@ class OptimisticCertifier(Scheduler):
                 self._committed_graph.remove_node(transaction_id)
         self._note_wakeups(self.gate.finish(transaction_id, committed=False))
 
+    # -- live-state garbage collection ---------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Prune committed records and graph nodes nothing live can reach.
+
+        A committed transaction's step records exist to seed precedence
+        edges towards *later* steps; such an edge can only close a cycle
+        through a path leading back to the transaction.  Two facts bound
+        when that is still possible:
+
+        * a new *in-edge* of a committed transaction T requires another
+          transaction with a step before one of T's — i.e. one that began
+          before T resolved — so once every such overlapper has resolved,
+          T's in-edge set is final;
+        * a newly inserted edge always *targets* a transaction that is
+          live at insertion time, so any future path into T must start
+          from a currently-live node (or a committed one some live
+          transaction still overlaps) and continue over edges that
+          already exist.
+
+        Hence: mark everything forward-reachable in the committed graph
+        from the *frontier* — live transactions plus committed ones whose
+        resolve stamp is later than the oldest live begin stamp — and
+        prune every non-frontier committed transaction none of whose
+        nodes is marked: drop its step records, its graph nodes, and its
+        bookkeeping.  Edges already *filed* under live peers survive
+        (they were discovered while the records existed and re-add a
+        fresh, in-edge-free node at validation, which cannot close a
+        cycle), so decisions are unchanged — only memory shrinks, which
+        is what keeps week-long streams O(in-flight) instead of O(total
+        arrivals).
+
+        Returns:
+            The number of pruned step records.
+        """
+        if not self._resolve_seq:
+            return 0
+        min_live_begin = min(
+            (self._begin_seq[t] for t in self._live_transactions), default=None
+        )
+        if min_live_begin is None:
+            frontier = set()
+        else:
+            frontier = {
+                t for t, seq in self._resolve_seq.items() if seq > min_live_begin
+            }
+        if len(frontier) == len(self._resolve_seq):
+            return 0  # every retained transaction is still overlapped
+        graph = self._committed_graph
+        marked: set[str] = set()
+        stack: list[str] = []
+        for t in self._live_transactions:
+            stack.extend(self._nodes_by_transaction.get(t, ()))
+        for t in frontier:
+            stack.extend(self._committed_nodes.get(t, ()))
+        while stack:
+            node = stack.pop()
+            if node in marked or node not in graph:
+                continue
+            marked.add(node)
+            stack.extend(graph.successors(node))
+        removed = 0
+        for transaction_id in [
+            t for t in self._resolve_seq if t not in frontier
+        ]:
+            nodes = self._committed_nodes.get(transaction_id, set())
+            if any(node in marked for node in nodes):
+                continue
+            for object_name in self._committed_touched.pop(transaction_id, ()):
+                records = self._steps_by_object.get(object_name)
+                if not records:
+                    continue
+                kept = [
+                    record
+                    for record in records
+                    if record.transaction_id != transaction_id
+                ]
+                removed += len(records) - len(kept)
+                if kept:
+                    records[:] = kept
+                else:
+                    del self._steps_by_object[object_name]
+            for node in nodes:
+                if node in graph:
+                    graph.remove_node(node)
+            self._committed_nodes.pop(transaction_id, None)
+            self._resolve_seq.pop(transaction_id, None)
+            self._begin_seq.pop(transaction_id, None)
+            if self._pruned_committed is not None:
+                self._pruned_committed.add(transaction_id)
+        # Orphan sweep: nodes re-added by a trial insertion after their
+        # owner was pruned carry out-edges only (an in-edge would require
+        # an overlapper, which would have kept the owner in the frontier);
+        # they can never sit on a cycle, so unmarked unowned nodes go too.
+        owned: set[str] = set()
+        for nodes in self._nodes_by_transaction.values():
+            owned.update(nodes)
+        for nodes in self._committed_nodes.values():
+            owned.update(nodes)
+        for node in [n for n in graph.nodes if n not in marked and n not in owned]:
+            graph.remove_node(node)
+        self.gc_pruned_records += removed
+        return removed
+
+    def live_state_size(self) -> int:
+        """Retained items: step records, filed edges, graph nodes/edges, gate."""
+        return (
+            sum(len(records) for records in self._steps_by_object.values())
+            + sum(len(edges) for edges in self._pending_edges.values())
+            + self._committed_graph.number_of_nodes()
+            + self._committed_graph.number_of_edges()
+            + self.gate.live_state_size()
+        )
+
     # -- descriptive ------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
@@ -419,5 +573,6 @@ class OptimisticCertifier(Scheduler):
             "committed": len(self._committed),
             "classified_pairs": self.classified_pairs,
             "commit_conflict_calls": self.commit_conflict_calls,
+            "gc_pruned_records": self.gc_pruned_records,
             **self.gate.describe(),
         }

@@ -85,6 +85,15 @@ class IntraObjectSynchroniser:
     def on_transaction_finished(self, transaction_id: str) -> None:
         """The top-level transaction committed or aborted."""
 
+    def live_state_size(self) -> int:
+        """Retained per-transaction items, for the engine's live-state gauge.
+
+        Every concrete strategy must override this (the modular
+        scheduler's gauge sums it polymorphically); the stateless base
+        retains nothing.
+        """
+        return 0
+
     # -- helpers ------------------------------------------------------------------
 
     def _items_conflict(self, held, requested) -> bool:
@@ -138,6 +147,9 @@ class IntraObjectLocking(IntraObjectSynchroniser):
     def on_transaction_finished(self, transaction_id: str) -> None:
         self._held.pop(transaction_id, None)
 
+    def live_state_size(self) -> int:
+        return sum(len(items) for items in self._held.values())
+
 
 class IntraObjectTimestampOrdering(IntraObjectSynchroniser):
     """Per-object timestamp ordering using transaction arrival timestamps."""
@@ -180,6 +192,9 @@ class IntraObjectTimestampOrdering(IntraObjectSynchroniser):
 
     def on_transaction_finished(self, transaction_id: str) -> None:
         self._timestamps.pop(transaction_id, None)
+
+    def live_state_size(self) -> int:
+        return len(self._records) + len(self._timestamps)
 
 
 class BTreeKeyLocking(IntraObjectLocking):
@@ -268,6 +283,14 @@ class InterObjectCoordinator:
             request.info.execution_id, request.object_name, request.operation, value
         )
         self._steps_by_object[request.object_name].append(_RecordedStep(step, request.info))
+
+    def live_state_size(self) -> int:
+        """Recorded steps plus precedence nodes/edges (retained all run)."""
+        return (
+            sum(len(records) for records in self._steps_by_object.values())
+            + self._precedence.number_of_nodes()
+            + self._precedence.number_of_edges()
+        )
 
     def forget_transaction(self, subtree_ids: set[str], node_ids: set[str]) -> None:
         """Drop an aborted transaction's steps and precedence nodes."""
@@ -444,6 +467,27 @@ class ModularScheduler(Scheduler):
         if self._coordinator is not None:
             subtree_ids = set(subtree) | {info.execution_id}
             self._coordinator.forget_transaction(subtree_ids, subtree_ids)
+
+    # -- live-state garbage collection ---------------------------------------------
+
+    def live_state_size(self) -> int:
+        """Retained items across both halves of the modular split.
+
+        Intra-object locks are released at transaction end and the gate
+        prunes itself; the inter-object coordinator's recorded steps and
+        the per-object timestamp synchronisers' records, however, are
+        retained for the whole run (see the known-limitations note in
+        ``DESIGN.md``) — the honest gauge makes that growth visible
+        rather than hiding it.
+        """
+        size = self.gate.live_state_size() if self.inter_object_checks else 0
+        size += sum(
+            synchroniser.live_state_size()
+            for synchroniser in self._synchronisers.values()
+        )
+        if self._coordinator is not None:
+            size += self._coordinator.live_state_size()
+        return size
 
     # -- descriptive ------------------------------------------------------------
 

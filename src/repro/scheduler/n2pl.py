@@ -53,6 +53,7 @@ class NestedTwoPhaseLocking(Scheduler):
         self.locks: LockManager | None = None
         self.waits = WaitsForGraph()
         self._top_level_of: dict[str, str] = {}
+        self._executions_of: dict[str, set[str]] = {}
         self.deadlocks_detected = 0
         self.blocked_requests = 0
 
@@ -65,6 +66,7 @@ class NestedTwoPhaseLocking(Scheduler):
         )
         self.waits = WaitsForGraph()
         self._top_level_of = {}
+        self._executions_of = {}
         self.deadlocks_detected = 0
         self.blocked_requests = 0
 
@@ -72,9 +74,11 @@ class NestedTwoPhaseLocking(Scheduler):
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
         self._top_level_of[info.execution_id] = info.top_level_id
+        self._executions_of[info.top_level_id] = {info.execution_id}
 
     def on_invoke(self, parent: ExecutionInfo, child: ExecutionInfo) -> None:
         self._top_level_of[child.execution_id] = child.top_level_id
+        self._executions_of.setdefault(child.top_level_id, set()).add(child.execution_id)
 
     def on_operation(self, request: OperationRequest) -> SchedulerResponse:
         assert self.locks is not None, "scheduler not attached"
@@ -131,12 +135,37 @@ class NestedTwoPhaseLocking(Scheduler):
         assert self.locks is not None
         self.locks.release_all(info.execution_id)
         self.waits.remove_transaction(info.top_level_id)
+        self._forget_top_level(info.top_level_id)
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         assert self.locks is not None
         self.locks.release_all_of(subtree)
         self.locks.release_all(info.execution_id)
         self.waits.remove_transaction(info.top_level_id)
+        self._forget_top_level(info.top_level_id)
+
+    def _forget_top_level(self, top_level_id: str) -> None:
+        """Release the resolved transaction's blocker-translation entries.
+
+        Execution ids are never reused, so keeping them would grow the
+        translation map with every transaction that ever ran — a leak a
+        long arrival stream cannot afford.  The reverse index keeps the
+        cleanup O(the transaction's own executions).
+        """
+        for execution_id in self._executions_of.pop(top_level_id, ()):
+            self._top_level_of.pop(execution_id, None)
+
+    # -- live-state garbage collection ---------------------------------------------
+
+    def live_state_size(self) -> int:
+        """Retained items: held locks plus blocker-translation entries.
+
+        Strict two-phase locking releases everything at transaction end,
+        so no :meth:`collect_garbage` pass is needed — the size is
+        O(live) by construction.
+        """
+        lock_count = self.locks.lock_count() if self.locks is not None else 0
+        return lock_count + len(self._top_level_of)
 
     # -- descriptive ------------------------------------------------------------
 

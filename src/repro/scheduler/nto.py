@@ -86,7 +86,14 @@ class NestedTimestampOrdering(Scheduler):
         self.gate_mode = gate_mode
         self.authority = TimestampAuthority()
         self._records: dict[str, list[_StepRecord]] = defaultdict(list)
+        # First timestamp component per live top-level execution (the
+        # garbage-collection watermark) and the execution ids of each live
+        # transaction's subtree (so the authority's assignments can be
+        # released at commit, when no subtree listing is provided).
+        self._live_first: dict[str, int] = {}
+        self._members: dict[str, set[str]] = {}
         self.timestamp_aborts = 0
+        self.gc_pruned_records = 0
         self.gate = self._make_gate()
 
     def _make_gate(self) -> CommitGate:
@@ -103,17 +110,23 @@ class NestedTimestampOrdering(Scheduler):
         super().attach(object_base)
         self.authority = TimestampAuthority()
         self._records = defaultdict(list)
+        self._live_first = {}
+        self._members = {}
         self.timestamp_aborts = 0
+        self.gc_pruned_records = 0
         self.gate = self._make_gate()
 
     # -- lifecycle --------------------------------------------------------------
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
-        self.authority.assign_top_level(info.execution_id)
+        timestamp = self.authority.assign_top_level(info.execution_id)
+        self._live_first[info.execution_id] = timestamp.components[0]
+        self._members[info.execution_id] = {info.execution_id}
         self.gate.begin(info.top_level_id)
 
     def on_invoke(self, parent: ExecutionInfo, child: ExecutionInfo) -> None:
         self.authority.assign_child(parent.execution_id, child.execution_id)
+        self._members.setdefault(child.top_level_id, set()).add(child.execution_id)
 
     def _conflicting(self, object_name: str, recorded, requested) -> bool:
         # The recorded step was processed before the requested one, so NTO
@@ -162,14 +175,72 @@ class NestedTimestampOrdering(Scheduler):
         return self.gate.check_commit(info.top_level_id)
 
     def on_transaction_commit(self, info: ExecutionInfo) -> None:
+        self._forget_live(info.top_level_id)
         self._note_wakeups(self.gate.finish(info.top_level_id, committed=True))
 
     def on_transaction_abort(self, info: ExecutionInfo, subtree: tuple[str, ...]) -> None:
         # The aborted executions' records are kept (their timestamps remain a
         # conservative lower bound, as in the paper's max-timestamp scheme),
         # but their timestamp assignments can be forgotten.
-        self.authority.forget_subtree(set(subtree) - {info.execution_id})
+        self._members.setdefault(info.top_level_id, set()).update(subtree)
+        self._forget_live(info.top_level_id)
         self._note_wakeups(self.gate.finish(info.top_level_id, committed=False))
+
+    def _forget_live(self, top_level_id: str) -> None:
+        """A transaction resolved: release its watermark and its timestamps.
+
+        Records keep timestamps *by value*, so dropping the authority's
+        assignments (ids are never reused — a restart begins a fresh
+        top-level execution with a fresh timestamp) loses nothing.
+        """
+        self._live_first.pop(top_level_id, None)
+        self.authority.forget_subtree(self._members.pop(top_level_id, set()))
+
+    # -- live-state garbage collection ---------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Drop records no live or future execution can violate.
+
+        NTO rule 1 aborts a requester only when a *conflicting* record
+        carries a **larger** timestamp.  Top-level timestamps grow with
+        begin order — the paper's "if e terminates before e' begins then
+        hts(e) < hts(e')", which it notes is what allows step information
+        to be garbage-collected — so a record whose first component is
+        smaller than every live transaction's first component compares
+        below every current and future requester and can never force an
+        abort again.
+
+        Returns:
+            The number of pruned records.
+        """
+        watermark = min(self._live_first.values(), default=None)
+        removed = 0
+        for object_name in list(self._records):
+            records = self._records[object_name]
+            kept = (
+                []
+                if watermark is None
+                else [
+                    record
+                    for record in records
+                    if record.timestamp.components[0] >= watermark
+                ]
+            )
+            removed += len(records) - len(kept)
+            if kept:
+                records[:] = kept
+            else:
+                del self._records[object_name]
+        self.gc_pruned_records += removed
+        return removed
+
+    def live_state_size(self) -> int:
+        """Retained items: timestamp records, assignments, and the gate's state."""
+        return (
+            sum(len(records) for records in self._records.values())
+            + self.authority.size()
+            + self.gate.live_state_size()
+        )
 
     # -- descriptive ------------------------------------------------------------
 
@@ -180,6 +251,7 @@ class NestedTimestampOrdering(Scheduler):
             "restart_policy": self.restart_policy.name,
             "timestamp_aborts": self.timestamp_aborts,
             "recorded_steps": sum(len(records) for records in self._records.values()),
+            "gc_pruned_records": self.gc_pruned_records,
             **self.gate.describe(),
         }
 

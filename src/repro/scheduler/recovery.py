@@ -271,6 +271,20 @@ class CommitGate:
 
     # -- descriptive ------------------------------------------------------------
 
+    def live_state_size(self) -> int:
+        """Retained gate items: step records, dependencies, aborted markers.
+
+        The gate prunes itself as transactions resolve (see
+        :meth:`finish`), so this is O(live transactions × their steps) by
+        construction; the engine's live-state gauge samples it to assert
+        exactly that on long streams.
+        """
+        return (
+            sum(len(records) for records in self._steps_by_object.values())
+            + sum(len(dependencies) for dependencies in self._dependencies.values())
+            + len(self._aborted)
+        )
+
     def describe(self) -> dict[str, Any]:
         return {
             "gate_mode": self.mode,

@@ -79,6 +79,10 @@ class TimestampAuthority:
     def knows(self, execution_id: str) -> bool:
         return execution_id in self._assigned
 
+    def size(self) -> int:
+        """The number of retained assignments (for the live-state gauge)."""
+        return len(self._assigned)
+
     def forget_subtree(self, execution_ids) -> None:
         """Drop assignments of an aborted subtree (their ids are never reused)."""
         for execution_id in execution_ids:

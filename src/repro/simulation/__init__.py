@@ -1,5 +1,13 @@
 """Simulation substrate: engine, transaction programmes, metrics, workloads."""
 
+from .arrivals import (
+    ARRIVAL_REGISTRY,
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    arrival_process_names,
+    make_arrival_process,
+)
 from .engine import INCREMENTAL_UNDO, REPLAY_UNDO, SimulationEngine
 from .events import Trace, TraceEvent
 from .metrics import RunMetrics, RunResult
@@ -17,20 +25,25 @@ from .workloads import (
     MixedWorkload,
     QueueWorkload,
     RandomOperationsWorkload,
+    StreamingWorkload,
     WORKLOAD_REGISTRY,
     make_workload,
     workload_names,
 )
 
 __all__ = [
+    "ARRIVAL_REGISTRY",
+    "ArrivalProcess",
     "BankingWorkload",
     "BTreeWorkload",
+    "BurstyArrivals",
     "HotspotWorkload",
     "InvokeRequest",
     "LocalRequest",
     "MethodContext",
     "MixedWorkload",
     "ParallelRequest",
+    "PoissonArrivals",
     "QueueWorkload",
     "RandomOperationsWorkload",
     "RunMetrics",
@@ -38,10 +51,13 @@ __all__ = [
     "INCREMENTAL_UNDO",
     "REPLAY_UNDO",
     "SimulationEngine",
+    "StreamingWorkload",
     "Trace",
     "TraceEvent",
     "TransactionSpec",
     "WORKLOAD_REGISTRY",
+    "arrival_process_names",
+    "make_arrival_process",
     "make_workload",
     "workload_names",
 ]

@@ -1,0 +1,236 @@
+"""Seeded arrival processes for open-system simulation.
+
+Every experiment before E15 ran a *closed* system: a fixed batch of
+transactions was submitted up front and the engine drained it, so the
+schedulers were only ever measured on the transient of a starting burst.
+An :class:`ArrivalProcess` turns the same transaction list into an *open*
+workload: it assigns each transaction a deterministic arrival tick, and
+:meth:`~repro.simulation.engine.SimulationEngine.submit_stream` releases
+the transactions into the running engine as the simulated clock crosses
+those ticks.  Per-transaction latency (arrival → commit), sustained
+throughput and the in-flight count then become measurable, and the
+saturation point — the arrival rate beyond which the in-flight population
+grows without bound — becomes a property of the scheduler, which
+``benchmarks/bench_e15_open_system.py`` sweeps.
+
+All randomness is owned by the process and seeded deterministically: a
+run remains a pure function of ``(workload seed, engine seed, arrival
+process configuration)``, exactly like the restart policies
+(:mod:`repro.scheduler.restart`), so the sweep layer's serial/parallel
+determinism guarantee extends to streaming scenarios.  Like those
+policies, processes are built from JSON-friendly shapes (a registry name,
+or a ``{"name": ..., **kwargs}`` mapping) so sweep axes can target them
+declaratively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Mapping
+
+#: Registry name of the default arrival process.
+POISSON_ARRIVALS = "poisson"
+
+
+class ArrivalProcess:
+    """Assigns deterministic arrival ticks to a stream of transactions.
+
+    The engine drives one process instance per run:
+
+    * :meth:`bind` — called once at stream submission with the engine
+      seed; must reset all process state (a process may be constructed
+      once and bound to a fresh run later);
+    * :meth:`schedule` — return the non-decreasing arrival ticks of the
+      next ``count`` transactions.
+    """
+
+    name = "abstract"
+
+    def bind(self, seed: int) -> None:
+        """Reset the process for a fresh run seeded with the engine seed."""
+
+    def interarrival(self, index: int) -> int:
+        """Ticks between arrival ``index - 1`` and arrival ``index`` (>= 0).
+
+        ``index`` counts from 0; the first transaction arrives
+        ``interarrival(0)`` ticks after the stream starts.
+        """
+        return 0
+
+    def schedule(self, count: int) -> list[int]:
+        """The cumulative arrival ticks of ``count`` transactions."""
+        ticks: list[int] = []
+        current = 0
+        for index in range(count):
+            gap = int(self.interarrival(index))
+            if gap < 0:
+                raise ValueError(
+                    f"arrival process {self.name!r} produced a negative gap {gap}"
+                )
+            current += gap
+            ticks.append(current)
+        return ticks
+
+    def describe(self) -> dict[str, Any]:
+        """Process description merged into run metadata."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Deterministic Poisson-like arrivals at a target rate.
+
+    Inter-arrival gaps are drawn from a seeded exponential distribution
+    with mean ``1 / rate`` ticks and rounded to whole ticks, so the
+    long-run arrival rate is ``rate`` transactions per tick and the gaps
+    are memoryless — the standard open-system reference stream.
+
+    Args:
+        rate: mean arrivals per tick (``0.1`` = one transaction every 10
+            ticks on average).  Must be positive.
+        seed: explicit RNG seed; ``None`` derives one from the engine
+            seed at :meth:`bind` time (the common case — keeps a scenario
+            a pure function of its spec without repeating the seed here).
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: float = 0.1, seed: int | None = None):
+        if not rate > 0:
+            raise ValueError(f"poisson arrival rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def bind(self, seed: int) -> None:
+        # XOR with a fixed odd constant decouples the arrival stream from
+        # the engine's tick-choice stream (and from the restart policy's
+        # stream, which uses a different constant) without introducing any
+        # process-dependent state.
+        effective = self.seed if self.seed is not None else seed ^ 0x85EBCA6B
+        self._rng = random.Random(effective)
+
+    def interarrival(self, index: int) -> int:
+        return round(self._rng.expovariate(self.rate))
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "rate": self.rate}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Clustered arrivals: bursts of back-to-back transactions, then silence.
+
+    Every ``burst`` consecutive transactions arrive ``within_gap`` ticks
+    apart; the next burst starts after a seeded uniformly random pause
+    from ``[1, 2 * mean_gap]`` (mean ``mean_gap + 0.5``), modelling the
+    flash-crowd traffic shape that stresses admission far harder than a
+    smooth Poisson stream of the same average rate.
+
+    Args:
+        burst: transactions per burst (>= 1).
+        mean_gap: mean pause in ticks between bursts (>= 1).
+        within_gap: ticks between the members of one burst (>= 0).
+        seed: explicit RNG seed; ``None`` derives one from the engine
+            seed at :meth:`bind` time.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst: int = 8,
+        mean_gap: int = 64,
+        within_gap: int = 0,
+        seed: int | None = None,
+    ):
+        if burst < 1:
+            raise ValueError(f"burst size must be >= 1, got {burst}")
+        if mean_gap < 1:
+            raise ValueError(f"mean burst gap must be >= 1, got {mean_gap}")
+        if within_gap < 0:
+            raise ValueError(f"within-burst gap must be >= 0, got {within_gap}")
+        self.burst = burst
+        self.mean_gap = mean_gap
+        self.within_gap = within_gap
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def bind(self, seed: int) -> None:
+        effective = self.seed if self.seed is not None else seed ^ 0xC2B2AE35
+        self._rng = random.Random(effective)
+
+    def interarrival(self, index: int) -> int:
+        if index % self.burst == 0 and index > 0:
+            return 1 + self._rng.randrange(2 * self.mean_gap)
+        return 0 if index == 0 else self.within_gap
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "burst": self.burst,
+            "mean_gap": self.mean_gap,
+            "within_gap": self.within_gap,
+        }
+
+
+ARRIVAL_REGISTRY: dict[str, Callable[..., ArrivalProcess]] = {
+    "poisson": PoissonArrivals,
+    "bursty": BurstyArrivals,
+}
+
+
+def arrival_process_names() -> list[str]:
+    """Names accepted by :func:`make_arrival_process` (and streaming workloads)."""
+    return sorted(ARRIVAL_REGISTRY)
+
+
+def make_arrival_process(
+    process: "str | Mapping[str, Any] | ArrivalProcess" = POISSON_ARRIVALS,
+    **kwargs: Any,
+) -> ArrivalProcess:
+    """Build an arrival process from a name, a config mapping, or an instance.
+
+    Accepted shapes (all JSON-friendly, so sweep axes can target the
+    streaming workloads' ``arrival`` / ``arrival_params`` fields
+    directly):
+
+    * ``"poisson"`` — a registry name, optionally with ``**kwargs``;
+    * ``{"name": "bursty", "burst": 16}`` — a registry name plus
+      constructor keywords (``**kwargs`` are merged in);
+    * a ready :class:`ArrivalProcess` instance (returned unchanged;
+      keywords are rejected).
+
+    Raises:
+        KeyError: on an unknown process name.
+        TypeError: on keywords the process does not accept, or an
+            unsupported specification type.
+    """
+    if isinstance(process, ArrivalProcess):
+        if kwargs:
+            raise TypeError(
+                "cannot apply keyword arguments to a ready ArrivalProcess instance"
+            )
+        return process
+    if isinstance(process, str):
+        name, merged = process, dict(kwargs)
+    elif isinstance(process, Mapping):
+        merged = {key: value for key, value in process.items() if key != "name"}
+        merged.update(kwargs)
+        name = process.get("name")
+        if not isinstance(name, str):
+            raise TypeError(
+                f"arrival process mapping needs a 'name' entry, got {dict(process)!r}"
+            )
+    else:
+        raise TypeError(
+            f"arrival process must be a name, a mapping or an ArrivalProcess, got {process!r}"
+        )
+    try:
+        factory = ARRIVAL_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown arrival process {name!r}; available: {', '.join(arrival_process_names())}"
+        ) from exc
+    return factory(**merged)

@@ -69,6 +69,7 @@ from ..core.state import ObjectState, UndoLog
 from ..objectbase.base import ObjectBase
 from ..scheduler.base import ExecutionInfo, OperationRequest, Scheduler, SchedulerResponse
 from ..scheduler.restart import ImmediateRestart, RestartPolicy
+from .arrivals import ArrivalProcess, make_arrival_process
 from .events import (
     ABORTED,
     BEGIN,
@@ -175,9 +176,18 @@ class SimulationEngine:
             undo segments) or ``"replay"`` (legacy full-history replay).
         check_undo: run both strategies after every abort and raise on
             divergence (testing aid).
+        gc_interval: live-state garbage collection cadence, in finished
+            transaction attempts (commits plus aborts) between passes.
+            Each pass prunes the committed prefix of the undo log, asks
+            the scheduler to collect state nothing live can depend on
+            (:meth:`~repro.scheduler.base.Scheduler.collect_garbage`) and
+            samples the live-state gauge, so long streaming runs retain
+            state proportional to the in-flight population, not to the
+            total arrival count.
 
     Raises:
-        SimulationError: on an unknown ``scheduling`` or ``undo`` value.
+        SimulationError: on an unknown ``scheduling`` or ``undo`` value,
+            or a non-positive ``gc_interval``.
     """
 
     def __init__(
@@ -194,13 +204,17 @@ class SimulationEngine:
         conflict_level_for_history: str = "step",
         undo: str = INCREMENTAL_UNDO,
         check_undo: bool = False,
+        gc_interval: int = 64,
     ):
         if scheduling not in ("random", "round-robin"):
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
         if undo not in (INCREMENTAL_UNDO, REPLAY_UNDO):
             raise SimulationError(f"unknown undo strategy {undo!r}")
+        if gc_interval < 1:
+            raise SimulationError(f"gc_interval must be >= 1, got {gc_interval}")
         self.object_base = object_base
         self.scheduler = scheduler
+        self.seed = seed
         self.rng = random.Random(seed)
         self.scheduling = scheduling
         self.max_restarts = max_restarts
@@ -238,6 +252,16 @@ class SimulationEngine:
         # the restart policy can reason about transaction seniority.
         self._lineage_counter = itertools.count()
         self._lineage_of: dict[str, int] = {}
+        # Open-system stream: (arrival tick, spec) in non-decreasing tick
+        # order, released into the engine as the clock crosses each tick.
+        self._arrivals: list[tuple[int, TransactionSpec]] = []
+        self._arrival_cursor = 0
+        self._arrival_process: ArrivalProcess | None = None
+        # Arrival tick per lineage, for the arrival -> commit latency.
+        self._arrival_tick_of: dict[int, int] = {}
+        self._in_flight = 0
+        self.gc_interval = gc_interval
+        self._finished_since_gc = 0
         self.metrics = RunMetrics()
         self._tick = 0
         self._finished = False
@@ -282,6 +306,50 @@ class SimulationEngine:
         for spec in specs:
             self.submit(spec)
 
+    def submit_stream(self, specs, arrival: "ArrivalProcess | str | dict" = "poisson") -> None:
+        """Queue transactions as an *open* arrival stream.
+
+        Instead of entering the system at tick 0 like :meth:`submit_all`
+        batches, each transaction is assigned a deterministic arrival tick
+        by the arrival process and is released into the running engine as
+        the simulated clock crosses it.  The run then reports open-system
+        metrics: per-transaction latency (arrival to commit), the
+        in-flight population and its peak, and the live-state gauge.
+
+        Args:
+            specs: the :class:`TransactionSpec` sequence, in arrival order.
+            arrival: an :class:`~repro.simulation.arrivals.ArrivalProcess`,
+                a registry name (``"poisson"``, ``"bursty"``), or a
+                ``{"name": ..., **kwargs}`` mapping.  The process is bound
+                to (re-seeded from) the engine seed, so the schedule is a
+                pure function of the configuration.
+
+        Raises:
+            SimulationError: when the engine already ran, or a spec names
+                an unknown transaction method.
+        """
+        if self._finished:
+            raise SimulationError("engine instances are single-use; create a new one")
+        process = make_arrival_process(arrival)
+        process.bind(self.seed)
+        self._arrival_process = process
+        specs = [
+            spec if isinstance(spec, TransactionSpec) else TransactionSpec(spec, ())
+            for spec in specs
+        ]
+        for spec in specs:
+            self.object_base.environment.method(spec.method_name)  # validate early
+        start = self._arrivals[-1][0] if self._arrivals else 0
+        for tick, spec in zip(process.schedule(len(specs)), specs):
+            self._arrivals.append((start + tick, spec))
+
+    def run_stream(
+        self, specs, arrival: "ArrivalProcess | str | dict" = "poisson"
+    ) -> RunResult:
+        """Convenience: :meth:`submit_stream` then :meth:`run`."""
+        self.submit_stream(specs, arrival)
+        return self.run()
+
     # ------------------------------------------------------------------
     # the main loop
     # ------------------------------------------------------------------
@@ -301,22 +369,25 @@ class SimulationEngine:
         if self._finished:
             raise SimulationError("engine instances are single-use; create a new one")
         for spec in self._pending_specs:
-            self._start_transaction(spec, attempt=1, lineage=next(self._lineage_counter))
+            self._admit(spec)
         self._pending_specs = []
 
-        while (self._frames or self._delayed_restarts) and self._tick < self.max_ticks:
+        while (
+            self._frames or self._delayed_restarts or self._has_pending_arrivals()
+        ) and self._tick < self.max_ticks:
             self._release_due_restarts()
+            self._release_due_arrivals()
             frame_id = self._choose_frame()
             if frame_id is None:
-                if self._delayed_restarts:
-                    # Nothing is runnable until a delayed restart matures:
-                    # fast-forward the clock to the next due tick (the wait
-                    # costs time, not scheduling decisions).  The jump is
-                    # clamped to the tick budget so a truncated run never
-                    # reports a makespan beyond max_ticks.
-                    self._tick = min(
-                        max(self._tick, self._delayed_restarts[0][0]), self.max_ticks
-                    )
+                next_due = self._next_event_tick()
+                if next_due is not None:
+                    # Nothing is runnable until a delayed restart matures or
+                    # the next transaction arrives: fast-forward the clock
+                    # to the next due tick (the wait costs time, not
+                    # scheduling decisions).  The jump is clamped to the
+                    # tick budget so a truncated run never reports a
+                    # makespan beyond max_ticks.
+                    self._tick = min(max(self._tick, next_due), self.max_ticks)
                     self.metrics.total_ticks = self._tick
                     if self._tick >= self.max_ticks:
                         break
@@ -337,6 +408,10 @@ class SimulationEngine:
             if frame.status == _PARKED:
                 self._clear_parking(frame)
 
+        # Final garbage-collection pass: with every transaction resolved
+        # the schedulers should retain (nearly) nothing, which the closing
+        # gauge sample records.
+        self._collect_garbage()
         self._finished = True
         history = self._builder.build()
         return RunResult(
@@ -346,7 +421,45 @@ class SimulationEngine:
             aborted_execution_ids=frozenset(self._aborted_executions),
             committed_transaction_ids=tuple(self._committed),
             trace=self._trace,
+            arrival_description=(
+                self._arrival_process.describe()
+                if self._arrival_process is not None
+                else None
+            ),
         )
+
+    def _has_pending_arrivals(self) -> bool:
+        return self._arrival_cursor < len(self._arrivals)
+
+    def _next_event_tick(self) -> int | None:
+        """The earliest tick a queued restart or arrival becomes due, if any."""
+        candidates = []
+        if self._delayed_restarts:
+            candidates.append(self._delayed_restarts[0][0])
+        if self._has_pending_arrivals():
+            candidates.append(self._arrivals[self._arrival_cursor][0])
+        return min(candidates) if candidates else None
+
+    def _release_due_arrivals(self) -> None:
+        """Admit every streamed transaction whose arrival tick has been reached."""
+        while (
+            self._arrival_cursor < len(self._arrivals)
+            and self._arrivals[self._arrival_cursor][0] <= self._tick
+        ):
+            due, spec = self._arrivals[self._arrival_cursor]
+            self._arrival_cursor += 1
+            self.metrics.submitted += 1
+            self.metrics.arrived += 1
+            self._admit(spec, arrival_tick=due)
+
+    def _admit(self, spec: TransactionSpec, arrival_tick: int = 0) -> None:
+        """A new lineage enters the system (first attempt)."""
+        lineage = next(self._lineage_counter)
+        self._arrival_tick_of[lineage] = arrival_tick
+        self._in_flight += 1
+        if self._in_flight > self.metrics.in_flight_peak:
+            self.metrics.in_flight_peak = self._in_flight
+        self._start_transaction(spec, attempt=1, lineage=lineage)
 
     def _choose_frame(self) -> str | None:
         candidates = [
@@ -689,6 +802,9 @@ class SimulationEngine:
         lineage = self._lineage_of.pop(frame.execution_id, None)
         if lineage is not None:
             self.restart_policy.on_finished(lineage)
+            arrival_tick = self._arrival_tick_of.pop(lineage, 0)
+            self.metrics.note_latency(self._tick - arrival_tick)
+        self._in_flight -= 1
         # The commit released the transaction's locks (and resolved any
         # read-from dependencies on it): wake its waiters, then drop the
         # execution index — a committed transaction can never abort, so the
@@ -697,6 +813,7 @@ class SimulationEngine:
             {frame.execution_id, *self._executions_by_transaction.get(frame.execution_id, ())}
         )
         self._executions_by_transaction.pop(frame.execution_id, None)
+        self._note_finished_attempt()
 
     # -- aborts ----------------------------------------------------------------------
 
@@ -787,7 +904,40 @@ class SimulationEngine:
             self.metrics.gave_up += 1
             if lineage is not None:
                 self.restart_policy.on_finished(lineage)
+                self._arrival_tick_of.pop(lineage, None)
+            self._in_flight -= 1
             self._record(GAVE_UP, top_level_id, detail=reason)
+        self._note_finished_attempt()
+
+    # -- live-state garbage collection -------------------------------------------
+
+    def _note_finished_attempt(self) -> None:
+        """Count a finished attempt towards the garbage-collection cadence."""
+        self._finished_since_gc += 1
+        if self._finished_since_gc >= self.gc_interval:
+            self._collect_garbage()
+
+    def _collect_garbage(self) -> None:
+        """Prune live state nothing live can depend on, and sample the gauge.
+
+        Three stores shrink: the scheduler's own records
+        (:meth:`~repro.scheduler.base.Scheduler.collect_garbage` — commit
+        gates are self-pruning; the certifier and NTO drop committed
+        records no live or future transaction can conflict-order against),
+        the undo log's committed prefixes, and — implicitly — the parked
+        index, which only ever holds live frames.  The gauge sample taken
+        afterwards is what bounds retained state to O(in-flight): the
+        metrics keep its peak and its peak ratio to the in-flight count.
+        """
+        self._finished_since_gc = 0
+        # Sample the gauge *before* pruning: the peak must reflect what was
+        # actually retained between passes (a post-prune sample would hide
+        # exactly the growth the gauge exists to expose).
+        parked = sum(1 for frame in self._frames.values() if frame.status == _PARKED)
+        sample = self.scheduler.live_state_size() + self._undo_log.total_steps() + parked
+        self.metrics.note_live_state(sample, self._in_flight)
+        self.scheduler.collect_garbage()
+        self._undo_log.collect()
 
     def _undo_states(self, top_level_id: str, subtree_ids: set[str]) -> int:
         """Undo the aborted subtree's steps; returns the wasted-step count."""

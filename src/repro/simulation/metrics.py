@@ -62,6 +62,45 @@ class RunMetrics:
     commit_parks: int = 0
     wait_ticks: int = 0
     commit_wait_ticks: int = 0
+    # Open-system (streaming) quantities.  ``arrived`` counts transactions
+    # released by an arrival stream (0 for closed-batch runs); the latency
+    # aggregates cover every committed transaction, measured in ticks from
+    # its arrival (tick 0 for closed submissions) to its commit, across
+    # restarts.  ``in_flight_peak`` is the largest number of transactions
+    # simultaneously in the system (arrived but not yet committed or given
+    # up).
+    arrived: int = 0
+    in_flight_peak: int = 0
+    latency_count: int = 0
+    latency_sum: int = 0
+    latency_max: int = 0
+    # Live-state gauge, sampled at every garbage-collection pass: retained
+    # scheduler records + candidate edges + undo-log segments + parked
+    # frames.  ``live_state_peak`` is the largest sample;
+    # ``live_state_ratio_peak`` the largest sample-to-in-flight ratio,
+    # which a bounded-memory run keeps (roughly) flat however long the
+    # stream goes.
+    live_state_peak: int = 0
+    live_state_ratio_peak: float = 0.0
+    live_state_samples: int = 0
+
+    # -- recording helpers -------------------------------------------------------
+
+    def note_latency(self, latency: int) -> None:
+        """Record one committed transaction's arrival-to-commit latency."""
+        self.latency_count += 1
+        self.latency_sum += latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+
+    def note_live_state(self, sample: int, in_flight: int) -> None:
+        """Record one live-state gauge sample against the in-flight count."""
+        self.live_state_samples += 1
+        if sample > self.live_state_peak:
+            self.live_state_peak = sample
+        ratio = sample / max(1, in_flight)
+        if ratio > self.live_state_ratio_peak:
+            self.live_state_ratio_peak = ratio
 
     # -- derived quantities -----------------------------------------------------
 
@@ -112,6 +151,26 @@ class RunMetrics:
             return 0.0
         return self.wasted_steps / self.local_steps
 
+    @property
+    def mean_latency(self) -> float:
+        """Mean arrival-to-commit latency in ticks over committed transactions."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    @property
+    def live_state_per_in_flight(self) -> float:
+        """Peak live-state gauge relative to the peak in-flight population.
+
+        The bounded-memory headline: on a garbage-collected stream this
+        stays a (workload-dependent) constant however many transactions
+        pass through, because retained state tracks the in-flight
+        population, not the total arrival count.
+        """
+        if self.live_state_peak == 0:
+            return 0.0
+        return self.live_state_peak / max(1, self.in_flight_peak)
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "total_ticks": self.total_ticks,
@@ -132,6 +191,14 @@ class RunMetrics:
             "commit_parks": self.commit_parks,
             "wait_ticks": self.wait_ticks,
             "commit_wait_ticks": self.commit_wait_ticks,
+            "arrived": self.arrived,
+            "in_flight_peak": self.in_flight_peak,
+            "mean_latency": self.mean_latency,
+            "latency_max": self.latency_max,
+            "live_state_peak": self.live_state_peak,
+            "live_state_ratio_peak": self.live_state_ratio_peak,
+            "live_state_samples": self.live_state_samples,
+            "live_state_per_in_flight": self.live_state_per_in_flight,
             "throughput": self.throughput,
             "commit_rate": self.commit_rate,
             "abort_rate": self.abort_rate,
@@ -151,6 +218,10 @@ class RunResult:
     aborted_execution_ids: frozenset[str]
     committed_transaction_ids: tuple[str, ...]
     trace: Trace | None = None
+    #: The arrival process configuration of an open-system run
+    #: (:meth:`~repro.simulation.arrivals.ArrivalProcess.describe`);
+    #: ``None`` for closed-batch runs.
+    arrival_description: dict[str, Any] | None = None
 
     def committed_history(self) -> History:
         """The committed projection: aborted transaction subtrees removed.

@@ -20,8 +20,21 @@ from .hotspot import HotspotWorkload
 from .mixed import MixedWorkload
 from .queues import QueueWorkload
 from .random_ops import RandomOperationsWorkload
+from .stream import (
+    StreamingBankingWorkload,
+    StreamingBTreeWorkload,
+    StreamingHotspotWorkload,
+    StreamingMixedWorkload,
+    StreamingQueueWorkload,
+    StreamingRandomOperationsWorkload,
+    StreamingWorkload,
+)
 
 #: Short names accepted by :func:`make_workload` and ``repro.sweep`` specs.
+#: The ``*-stream`` entries wrap the matching closed-batch generator in an
+#: arrival process (see :mod:`repro.simulation.workloads.stream`); the
+#: generic ``"stream"`` entry picks the inner workload via its ``inner``
+#: parameter.
 WORKLOAD_REGISTRY: dict[str, type] = {
     "banking": BankingWorkload,
     "btree": BTreeWorkload,
@@ -29,6 +42,13 @@ WORKLOAD_REGISTRY: dict[str, type] = {
     "mixed": MixedWorkload,
     "queue": QueueWorkload,
     "random-ops": RandomOperationsWorkload,
+    "stream": StreamingWorkload,
+    "banking-stream": StreamingBankingWorkload,
+    "btree-stream": StreamingBTreeWorkload,
+    "hotspot-stream": StreamingHotspotWorkload,
+    "mixed-stream": StreamingMixedWorkload,
+    "queue-stream": StreamingQueueWorkload,
+    "random-ops-stream": StreamingRandomOperationsWorkload,
 }
 
 
@@ -66,6 +86,13 @@ __all__ = [
     "MixedWorkload",
     "QueueWorkload",
     "RandomOperationsWorkload",
+    "StreamingBankingWorkload",
+    "StreamingBTreeWorkload",
+    "StreamingHotspotWorkload",
+    "StreamingMixedWorkload",
+    "StreamingQueueWorkload",
+    "StreamingRandomOperationsWorkload",
+    "StreamingWorkload",
     "WORKLOAD_REGISTRY",
     "make_workload",
     "workload_names",

@@ -88,7 +88,13 @@ def build_engine(spec: ScenarioSpec) -> SimulationEngine:
         scheduler_kwargs.setdefault("per_object_strategy", workload.modular_strategy_map())
     scheduler = make_scheduler(spec.scheduler, **scheduler_kwargs)
     engine = SimulationEngine(object_base, scheduler, seed=spec.seed, **spec.engine_params)
-    engine.submit_all(transaction_specs)
+    # Streaming workloads (any with an arrival_process hook) enter as an
+    # open arrival stream; everything else as the classic closed batch.
+    arrival_factory = getattr(workload, "arrival_process", None)
+    if arrival_factory is not None:
+        engine.submit_stream(transaction_specs, arrival_factory())
+    else:
+        engine.submit_all(transaction_specs)
     return engine
 
 
@@ -134,6 +140,12 @@ def summarise_run(
         "restart_delay_ticks": metrics.restart_delay_ticks,
         "wasted_fraction": metrics.wasted_fraction,
         "throughput": metrics.throughput,
+        "arrived": metrics.arrived,
+        "in_flight_peak": metrics.in_flight_peak,
+        "mean_latency": metrics.mean_latency,
+        "latency_max": metrics.latency_max,
+        "live_state_peak": metrics.live_state_peak,
+        "live_state_ratio": metrics.live_state_per_in_flight,
     }
     if certify:
         report = certify_run(result, check_legality=check_legality)

@@ -90,6 +90,12 @@ RESERVED_ROW_COLUMNS = frozenset(
         "restart_delay_ticks",
         "wasted_fraction",
         "throughput",
+        "arrived",
+        "in_flight_peak",
+        "mean_latency",
+        "latency_max",
+        "live_state_peak",
+        "live_state_ratio",
         "serialisable",
         "legal",
     }
@@ -188,6 +194,18 @@ class ScenarioSpec:
                 f"workload {self.workload!r} has no parameters {unknown}; "
                 f"available: {', '.join(sorted(allowed))}"
             )
+        # Workloads may validate parameter *values* eagerly too — the
+        # streaming wrappers check their inner workload name/params and the
+        # arrival process configuration here, so a typo'd arrival axis
+        # fails at spec construction, not inside a worker process.
+        validator = getattr(workload_class, "validate_params", None)
+        if validator is not None:
+            try:
+                validator(self.workload_params)
+            except Exception as exc:
+                raise SweepSpecError(
+                    f"workload {self.workload!r} rejects workload_params: {exc}"
+                ) from exc
         unknown_engine = sorted(set(self.engine_params) - ENGINE_PARAM_NAMES)
         if unknown_engine:
             raise SweepSpecError(
