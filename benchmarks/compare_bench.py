@@ -80,6 +80,19 @@ WATCHES = (
         key_fields=("scheduler", "arrival"),
         columns=("commit_rate", "throughput"),
     ),
+    Watch(
+        name="E16",
+        path=BENCH_DIR / "BENCH_e16_hot_loop.json",
+        # ``engine`` in the key keeps the committed ``pre_pr`` rows out of
+        # the comparison (they are a single sweep, never re-recorded); the
+        # ratio columns are the in-run event/scan and event/baseline
+        # factors, both machine-independent enough to trend-watch.
+        key_fields=("scheduler", "mode", "engine"),
+        columns=("speedup_scan", "speedup_vs_baseline"),
+        # Stream scenarios finish the scan run in ~half a second; anything
+        # quicker than the floor is timing jitter, not signal.
+        noise_floor=("wall_seconds_scan", 0.25),
+    ),
 )
 
 

@@ -1,4 +1,10 @@
-"""Analysis layer: run certification, history statistics and text reports."""
+"""Analysis layer: run certification, history statistics and text reports.
+
+Hot-loop profiling lives in :mod:`repro.analysis.profile` (also a CLI:
+``python -m repro.analysis.profile``); it is not re-exported here so the
+module can double as the ``-m`` entry point without an import cycle
+warning.
+"""
 
 from .certify import CertificationReport, certify_history, certify_run
 from .report import (

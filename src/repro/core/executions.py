@@ -43,6 +43,19 @@ class MethodExecution:
         ``B`` image this execution is, or ``None`` for top-level executions.
     """
 
+    __slots__ = (
+        "execution_id",
+        "object_name",
+        "method_name",
+        "parent_id",
+        "invoking_step_id",
+        "_steps",
+        "_step_sequence",
+        "_program_order",
+        "_po_successors",
+        "_po_reachable",
+    )
+
     def __init__(
         self,
         execution_id: str,

@@ -32,6 +32,7 @@ tests.
 from __future__ import annotations
 
 import itertools
+import sys
 from bisect import bisect_right
 from collections.abc import Iterable, Mapping
 from typing import Any
@@ -822,6 +823,10 @@ class HistoryBuilder:
         self._executions: dict[str, MethodExecution] = {}
         self._intervals: dict[int, tuple[int, int]] = {}
         self._open_messages: dict[str, int] = {}  # execution id -> its invoking message step id
+        # Step-id index over every step this builder recorded, so closing a
+        # message on finish() is a lookup instead of a scan over all
+        # executions (which made long runs quadratic in their step count).
+        self._steps_by_id: dict[int, Step] = {}
         self._clock = 0
         self._top_level_counter = itertools.count(1)
         self._child_counters: dict[str, itertools.count] = {}
@@ -862,7 +867,9 @@ class HistoryBuilder:
     ) -> MethodExecution:
         """Start a new top-level transaction (a method of the environment)."""
         if execution_id is None:
-            execution_id = f"T{next(self._top_level_counter)}"
+            # Interned: these ids are compared and hashed throughout the
+            # engine's hot paths (frame table, park index, subtree sets).
+            execution_id = sys.intern(f"T{next(self._top_level_counter)}")
         if execution_id in self._executions:
             raise ModelError(f"duplicate execution id {execution_id!r}")
         execution = MethodExecution(execution_id, ENVIRONMENT_OBJECT, method_name)
@@ -884,7 +891,7 @@ class HistoryBuilder:
             counter = self._child_counters.setdefault(
                 parent_execution.execution_id, itertools.count(1)
             )
-            execution_id = f"{parent_execution.execution_id}.{next(counter)}"
+            execution_id = sys.intern(f"{parent_execution.execution_id}.{next(counter)}")
         if execution_id in self._executions:
             raise ModelError(f"duplicate execution id {execution_id!r}")
 
@@ -892,6 +899,7 @@ class HistoryBuilder:
             parent_execution.execution_id, target_object, target_method, arguments
         )
         parent_execution.add_step(message, after=after)
+        self._steps_by_id[message.step_id] = message
         start = self._tick()
         self._intervals[message.step_id] = (start, start)  # end fixed on finish()
 
@@ -921,10 +929,32 @@ class HistoryBuilder:
         value = produced_value if return_value is AUTO else return_value
         step = LocalStep(resolved.execution_id, object_name, operation, value)
         resolved.add_step(step, after=after)
+        self._steps_by_id[step.step_id] = step
         instant = self._tick()
         self._intervals[step.step_id] = (instant, instant)
         self._current_states[object_name] = new_state
         self._initial_states.setdefault(object_name, ObjectState())
+        return step
+
+    def record_local(
+        self, execution: MethodExecution, operation: LocalOperation, return_value: Any
+    ) -> LocalStep:
+        """The simulation engine's fast path for :meth:`local`.
+
+        The engine has already applied the operation (its own state table
+        is authoritative — it also *undoes* aborted effects, which the
+        builder's convenience state mirror never does), so this records
+        the step without re-applying the operation or touching the mirror.
+        Standalone history construction should keep using :meth:`local`.
+        """
+        object_name = execution.object_name
+        step = LocalStep(execution.execution_id, object_name, operation, return_value)
+        execution.add_step(step)
+        self._steps_by_id[step.step_id] = step
+        instant = self._tick()
+        self._intervals[step.step_id] = (instant, instant)
+        if object_name not in self._initial_states:
+            self._initial_states[object_name] = ObjectState()
         return step
 
     def abort(self, execution: MethodExecution | str, reason: str = "") -> LocalStep:
@@ -943,6 +973,11 @@ class HistoryBuilder:
             message.return_value = return_value
 
     def _find_step(self, step_id: int) -> Step:
+        step = self._steps_by_id.get(step_id)
+        if step is not None:
+            return step
+        # Steps attached to an execution behind the builder's back are not
+        # in the index; fall back to the (slow) scan before giving up.
         for execution in self._executions.values():
             if execution.has_step(step_id):
                 return execution.step(step_id)

@@ -110,7 +110,7 @@ EMPTY_STATE = ObjectState()
 """A shared empty state, convenient as a default initial state."""
 
 
-@dataclass
+@dataclass(slots=True)
 class AppliedStep:
     """One local step applied to an object, with the pre-application state.
 

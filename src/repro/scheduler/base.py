@@ -55,7 +55,7 @@ OPERATION_LEVEL = "operation"
 STEP_LEVEL = "step"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionInfo:
     """Identity and ancestry of one method execution, as seen by schedulers."""
 
@@ -94,7 +94,7 @@ def disjoint_ancestors(first: ExecutionInfo, second: ExecutionInfo) -> tuple[str
     return first_side, second_side
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationRequest:
     """A request to execute one local operation on behalf of an execution."""
 
@@ -116,7 +116,7 @@ class Decision(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerResponse:
     """A decision plus a human-readable reason and optional blocker set."""
 
@@ -162,6 +162,11 @@ class SchedulerResponse:
     @property
     def aborted(self) -> bool:
         return self.decision is Decision.ABORT
+
+
+#: The one GRANT response every scheduler hands out (see
+#: :meth:`SchedulerResponse.grant`).  Treat as immutable.
+_GRANT_RESPONSE = SchedulerResponse(Decision.GRANT)
 
 
 class Scheduler:

@@ -81,7 +81,7 @@ from .base import (
 from .recovery import CASCADE_MODE, CommitGate
 
 
-@dataclass
+@dataclass(slots=True)
 class _ExecutedStep:
     """A step executed on behalf of some method execution."""
 
@@ -94,7 +94,7 @@ class _ExecutedStep:
         return self.info.top_level_id
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _CandidateEdge:
     """A sibling-level precedence edge discovered at step-execution time.
 

@@ -35,6 +35,11 @@ class WaitsForGraph:
         # id) -> (waiter transaction, holder transactions).
         self._parked: dict[str, tuple[str, frozenset[str]]] = {}
         self._keys_by_waiter: dict[str, set[str]] = {}
+        # Reverse index: holder transaction -> record keys waiting on it,
+        # as an insertion-ordered dict-set so removing a transaction visits
+        # its waiters in park order (the order the full-table scan it
+        # replaces observed) instead of scanning every parked record.
+        self._keys_by_holder: dict[str, dict[str, None]] = {}
 
     # -- the parked-waiter table ------------------------------------------------
 
@@ -51,8 +56,10 @@ class WaitsForGraph:
         self._parked[key] = (waiter, holder_set)
         self._keys_by_waiter.setdefault(waiter, set()).add(key)
         out = self._out.setdefault(waiter, {})
+        keys_by_holder = self._keys_by_holder
         for holder in holder_set:
             out[holder] = out.get(holder, 0) + 1
+            keys_by_holder.setdefault(holder, {})[key] = None
 
     def unpark(self, key: str) -> None:
         """Remove the parked record for ``key`` (no-op when absent)."""
@@ -65,6 +72,13 @@ class WaitsForGraph:
             keys.discard(key)
             if not keys:
                 del self._keys_by_waiter[waiter]
+        keys_by_holder = self._keys_by_holder
+        for holder in holders:
+            holder_keys = keys_by_holder.get(holder)
+            if holder_keys is not None:
+                holder_keys.pop(key, None)
+                if not holder_keys:
+                    del keys_by_holder[holder]
         out = self._out.get(waiter)
         if out is None:
             return
@@ -104,12 +118,18 @@ class WaitsForGraph:
         """Remove the transaction both as waiter and as holder."""
         for key in list(self._keys_by_waiter.get(transaction_id, ())):
             self.unpark(key)
-        for key, (waiter, holders) in list(self._parked.items()):
-            if transaction_id in holders:
-                remaining = holders - {transaction_id}
-                self.unpark(key)
-                if remaining:
-                    self.park(key, waiter, remaining)
+        holder_keys = self._keys_by_holder.get(transaction_id)
+        if not holder_keys:
+            return
+        for key in list(holder_keys):
+            record = self._parked.get(key)
+            if record is None:
+                continue
+            waiter, holders = record
+            remaining = holders - {transaction_id}
+            self.unpark(key)
+            if remaining:
+                self.park(key, waiter, remaining)
 
     # -- queries -------------------------------------------------------------------
 
@@ -141,6 +161,17 @@ class WaitsForGraph:
             return None
 
         return visit(start)
+
+    def is_waited_on(self, transaction_id: str) -> bool:
+        """True when some parked record lists the transaction as a holder.
+
+        A freshly parked waiter can only be part of a cycle that runs
+        through itself (every older cycle was broken at the park that
+        closed it), and such a cycle needs an edge *into* the waiter —
+        so callers that check for deadlock right after parking may skip
+        the DFS entirely when this is false.
+        """
+        return bool(self._keys_by_holder.get(transaction_id))
 
     def has_self_wait(self, transaction_id: str) -> bool:
         """True when a transaction's executions wait on one another."""

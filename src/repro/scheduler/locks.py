@@ -29,9 +29,15 @@ from ..core.operations import LocalOperation, LocalStep
 from .base import ExecutionInfo
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class LockEntry:
-    """One held lock: the owner and the operation/step it covers."""
+    """One held lock: the owner and the operation/step it covers.
+
+    Identity semantics (``eq=False``): entries are unique table rows —
+    hashable, so the per-object table can delete them in O(1).  Two
+    entries with equal fields are interchangeable anyway (they conflict
+    with exactly the same requests).
+    """
 
     owner_id: str
     object_name: str
@@ -64,14 +70,18 @@ class LockManager:
     def __init__(self, conflicts: PerObjectConflicts, step_level: bool = False):
         self._conflicts = conflicts
         self._step_level = step_level
-        self._locks_by_object: dict[str, list[LockEntry]] = defaultdict(list)
+        # Per-object tables are insertion-ordered dict-sets: iteration in
+        # grant order (like the lists they replaced) but O(1) deletion,
+        # which keeps releasing a heavily-locked hot object linear instead
+        # of quadratic.
+        self._locks_by_object: dict[str, dict[LockEntry, None]] = defaultdict(dict)
         self._locks_by_owner: dict[str, list[LockEntry]] = defaultdict(list)
 
     # -- queries ----------------------------------------------------------------
 
     def holders(self, object_name: str) -> list[LockEntry]:
         """All lock entries currently held on the object."""
-        return list(self._locks_by_object.get(object_name, []))
+        return list(self._locks_by_object.get(object_name, ()))
 
     def held_by(self, owner_id: str) -> list[LockEntry]:
         """All lock entries currently owned by the execution."""
@@ -108,11 +118,22 @@ class LockManager:
     ) -> set[str]:
         """Owners of conflicting locks that are *not* ancestors of the requester."""
         blockers: set[str] = set()
-        for entry in self._locks_by_object.get(object_name, []):
-            if requester.is_ancestor_or_self(entry.owner_id):
+        entries = self._locks_by_object.get(object_name)
+        if not entries:
+            return blockers
+        # One granularity per manager, so the registry lookup and the
+        # conflict relation can be bound once instead of per held entry
+        # (this loop runs for every lock request on a contended object).
+        spec = self._conflicts[object_name]
+        conflict = spec.steps_conflict if self._step_level else spec.operations_conflict
+        requester_id = requester.execution_id
+        ancestor_ids = requester.ancestor_ids
+        for entry in entries:
+            owner_id = entry.owner_id
+            if owner_id == requester_id or owner_id in ancestor_ids:
                 continue
-            if self._items_conflict(object_name, entry.item, item):
-                blockers.add(entry.owner_id)
+            if conflict(entry.item, item):
+                blockers.add(owner_id)
         return blockers
 
     # -- acquisition, release, inheritance ----------------------------------------
@@ -134,7 +155,7 @@ class LockManager:
         if blockers:
             return LockRequestOutcome(False, frozenset(blockers))
         entry = LockEntry(requester.execution_id, object_name, item)
-        self._locks_by_object[object_name].append(entry)
+        self._locks_by_object[object_name][entry] = None
         self._locks_by_owner[requester.execution_id].append(entry)
         return LockRequestOutcome(True)
 
@@ -147,10 +168,7 @@ class LockManager:
         """
         entries = self._locks_by_owner.pop(owner_id, [])
         for entry in entries:
-            try:
-                self._locks_by_object[entry.object_name].remove(entry)
-            except ValueError:  # pragma: no cover - defensive
-                pass
+            self._locks_by_object[entry.object_name].pop(entry, None)
         return frozenset({owner_id}) if entries else frozenset()
 
     def release_all_of(self, owner_ids: Iterable[str]) -> frozenset[str]:

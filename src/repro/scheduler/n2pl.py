@@ -82,7 +82,9 @@ class NestedTwoPhaseLocking(Scheduler):
 
     def on_operation(self, request: OperationRequest) -> SchedulerResponse:
         assert self.locks is not None, "scheduler not attached"
-        item = request.lock_item(self.level)
+        item = (
+            request.operation if self.level == OPERATION_LEVEL else request.provisional_step
+        )
         outcome = self.locks.request(request.object_name, item, request.info)
         if outcome.granted:
             self.waits.unpark(request.info.execution_id)
@@ -104,7 +106,15 @@ class NestedTwoPhaseLocking(Scheduler):
         self.waits.park(
             request.info.execution_id, request.info.top_level_id, cross_transaction_blockers
         )
-        cycle = self.waits.find_cycle_from(request.info.top_level_id)
+        # The graph was acyclic before this park (cycles are broken at the
+        # park that closes them), so any new cycle runs through this
+        # transaction — which requires an edge *into* it.  No incoming
+        # edge, no DFS needed.
+        cycle = (
+            self.waits.find_cycle_from(request.info.top_level_id)
+            if self.waits.is_waited_on(request.info.top_level_id)
+            else None
+        )
         if cycle is not None:
             self.deadlocks_detected += 1
             self.waits.remove_transaction(request.info.top_level_id)

@@ -59,7 +59,7 @@ from .recovery import CASCADE_MODE, CommitGate
 from .timestamps import HierarchicalTimestamp, TimestampAuthority
 
 
-@dataclass
+@dataclass(slots=True)
 class _StepRecord:
     """A processed step (or operation) and the timestamp of its issuer."""
 

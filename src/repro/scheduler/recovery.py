@@ -63,7 +63,7 @@ ACA_MODE = "aca"
 GATE_MODES = (CASCADE_MODE, ACA_MODE)
 
 
-@dataclass
+@dataclass(slots=True)
 class _GateRecord:
     """One executed step (or operation) of a still-live transaction."""
 
@@ -102,7 +102,13 @@ class CommitGate:
         self._step_level = step_level
         self.mode = mode
         self._sequence = itertools.count(1)
-        self._steps_by_object: dict[str, list[_GateRecord]] = {}
+        # Per-object records keyed by sequence (insertion-ordered), plus a
+        # per-transaction index of (object, sequence) pairs so finish()
+        # removes exactly the resolved transaction's records instead of
+        # rebuilding every object's list (which made transaction turnover
+        # O(objects x records)).
+        self._steps_by_object: dict[str, dict[int, _GateRecord]] = {}
+        self._records_of: dict[str, list[tuple[str, int]]] = {}
         self._live: set[str] = set()
         self._aborted: set[str] = set()
         self._dependencies: dict[str, set[str]] = {}
@@ -121,10 +127,12 @@ class CommitGate:
         self._live.discard(transaction_id)
         if not committed:
             self._aborted.add(transaction_id)
-        for records in self._steps_by_object.values():
-            records[:] = [
-                record for record in records if record.transaction_id != transaction_id
-            ]
+        for object_name, sequence in self._records_of.pop(transaction_id, ()):
+            records = self._steps_by_object.get(object_name)
+            if records is not None:
+                records.pop(sequence, None)
+                if not records:
+                    del self._steps_by_object[object_name]
         self._dependencies.pop(transaction_id, None)
         self._waits.remove_transaction(transaction_id)
         if self._aborted:
@@ -171,18 +179,21 @@ class CommitGate:
         transactions may have influenced the observed return value, so each
         contributes a read-from dependency.
         """
-        records = self._steps_by_object.setdefault(object_name, [])
+        records = self._steps_by_object.setdefault(object_name, {})
         dependencies = self._dependencies.setdefault(transaction_id, set())
-        for record in records:
+        live = self._live
+        for record in records.values():
             if record.transaction_id == transaction_id:
                 continue
-            if record.transaction_id not in self._live:
+            if record.transaction_id not in live:
                 continue  # pragma: no cover - records of resolved txns are pruned
             if not self._mutates_state(record.item):
                 continue
             if self._conflicting(object_name, record.item, item):
                 dependencies.add(record.transaction_id)
-        records.append(_GateRecord(next(self._sequence), item, transaction_id))
+        sequence = next(self._sequence)
+        records[sequence] = _GateRecord(sequence, item, transaction_id)
+        self._records_of.setdefault(transaction_id, []).append((object_name, sequence))
 
     # -- operation gating (aca mode) -------------------------------------------
 
@@ -212,7 +223,7 @@ class CommitGate:
             return SchedulerResponse.grant()
         transaction_id = info.top_level_id
         writers: set[str] = set()
-        for record in self._steps_by_object.get(object_name, ()):
+        for record in self._steps_by_object.get(object_name, {}).values():
             if record.transaction_id == transaction_id:
                 continue
             if record.transaction_id not in self._live:

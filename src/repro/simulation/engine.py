@@ -40,14 +40,29 @@ Execution model
   scheduler's :class:`~repro.scheduler.restart.RestartPolicy`: a zero
   delay restarts within the same tick (the ``immediate`` policy — the
   classic storm-prone behaviour), a positive delay puts the restart on
-  the engine's *delayed-restart queue*, a min-heap keyed by due tick.
-  Due restarts are released at the top of every scheduling iteration; a
-  waiting restart consumes no ticks, and when nothing is runnable but a
-  restart is pending the engine fast-forwards the clock to the next due
-  tick instead of force-waking parked frames.  The transaction's
-  *lineage* (its original submission index) is preserved across attempts
-  so seniority-based policies (``ordered``) can privilege old
+  the engine's *event heap*, a min-heap keyed by due tick that also
+  carries streamed arrivals.  Due events are released at the top of
+  every scheduling iteration; a waiting restart consumes no ticks, and
+  when nothing is runnable but an event is pending the engine
+  fast-forwards the clock to the heap's next due tick instead of
+  force-waking parked frames.  The transaction's *lineage* (its
+  original submission index) is preserved across attempts so
+  seniority-based policies (``ordered``) can privilege old
   transactions.
+
+Hot loop
+--------
+
+Choosing the next runnable frame is O(1): the engine maintains a *ready
+list* of ``(creation sequence, frame)`` pairs, updated at every status
+transition (spawn, park, wake, wait, retire), that is always sorted by
+frame-creation order — exactly the iteration order of the frame table
+that the original per-tick scan observed, so decisions (and the RNG draw
+sequence) are bit-identical to the scan implementation.  The scan
+strategy is retained as ``hot_loop="scan"`` and serves as the oracle in
+the bit-identity property tests and as the in-run reference point for
+``benchmarks/bench_e16_hot_loop.py``'s machine-independent speedup
+ratio.
 
 The recorded history contains the steps of aborted attempts as well; the
 :class:`~repro.simulation.metrics.RunResult` exposes the committed
@@ -59,6 +74,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -99,11 +115,24 @@ _WAITING = "waiting"
 _PARKED = "parked"
 _DONE = "done"
 
+# ObjectState is immutable, so one shared empty state serves every
+# object the run never initialised (instead of allocating per lookup).
+_EMPTY_STATE = ObjectState()
+
 INCREMENTAL_UNDO = "incremental"
 REPLAY_UNDO = "replay"
 
+EVENT_LOOP = "event"
+SCAN_LOOP = "scan"
 
-@dataclass
+# Unified event-heap kinds.  At an equal due tick restarts sort before
+# arrivals — the release order the split queues had (due restarts were
+# drained first each iteration, then due arrivals).
+_EVENT_RESTART = 0
+_EVENT_ARRIVAL = 1
+
+
+@dataclass(slots=True)
 class _Frame:
     """One method execution in progress."""
 
@@ -124,13 +153,19 @@ class _Frame:
     parked_since: int = 0
     pending_commit: bool = False
     commit_value: Any = None
+    #: Monotonic creation index; the ready list sorts on it, which keeps
+    #: the candidate order identical to frame-table insertion order.
+    seq: int = 0
+    #: Whether ``generator`` is an actual generator (vs a plain return
+    #: value) — detected once at creation, not re-probed per advance.
+    is_generator: bool = False
 
     @property
     def execution_id(self) -> str:
         return self.info.execution_id
 
 
-@dataclass
+@dataclass(slots=True)
 class _StepLogEntry:
     """A local step kept (only) for the full-replay undo strategy."""
 
@@ -172,6 +207,11 @@ class SimulationEngine:
         conflict_level_for_history: granularity of the conflict relation
             stored on the recorded history (``"step"`` or
             ``"operation"``).
+        hot_loop: frame-choice strategy — ``"event"`` (the default: O(1)
+            choice from the maintained ready list) or ``"scan"`` (the
+            legacy per-tick scan over the frame table, kept as the
+            bit-identity oracle and benchmark reference).  Both produce
+            identical runs; they differ only in speed.
         undo: abort repair strategy — ``"incremental"`` (per-transaction
             undo segments) or ``"replay"`` (legacy full-history replay).
         check_undo: run both strategies after every abort and raise on
@@ -186,8 +226,8 @@ class SimulationEngine:
             total arrival count.
 
     Raises:
-        SimulationError: on an unknown ``scheduling`` or ``undo`` value,
-            or a non-positive ``gc_interval``.
+        SimulationError: on an unknown ``scheduling``, ``undo`` or
+            ``hot_loop`` value, or a non-positive ``gc_interval``.
     """
 
     def __init__(
@@ -205,11 +245,14 @@ class SimulationEngine:
         undo: str = INCREMENTAL_UNDO,
         check_undo: bool = False,
         gc_interval: int = 64,
+        hot_loop: str = EVENT_LOOP,
     ):
         if scheduling not in ("random", "round-robin"):
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
         if undo not in (INCREMENTAL_UNDO, REPLAY_UNDO):
             raise SimulationError(f"unknown undo strategy {undo!r}")
+        if hot_loop not in (EVENT_LOOP, SCAN_LOOP):
+            raise SimulationError(f"unknown hot_loop strategy {hot_loop!r}")
         if gc_interval < 1:
             raise SimulationError(f"gc_interval must be >= 1, got {gc_interval}")
         self.object_base = object_base
@@ -223,6 +266,7 @@ class SimulationEngine:
         self.record_trace = record_trace
         self.undo = undo
         self.check_undo = check_undo
+        self.hot_loop = hot_loop
         self._trace = Trace() if record_trace else None
 
         self._builder = HistoryBuilder(
@@ -233,6 +277,14 @@ class SimulationEngine:
         self._frames: dict[str, _Frame] = {}
         self._executions_by_transaction: dict[str, set[str]] = {}
         self._round_robin_cursor = 0
+        # The ready list: (frame.seq, frame) pairs sorted by creation
+        # sequence — the same order a scan over the insertion-ordered frame
+        # table produces, so the O(1) chooser sees the identical candidate
+        # sequence.  Maintained by _set_ready/_set_not_ready at every
+        # status transition.
+        self._frame_sequence = itertools.count()
+        self._ready: list[tuple[int, _Frame]] = []
+        self._parked_count = 0
         self._undo_log = UndoLog()
         # The append-only global step log is only needed when the full-replay
         # strategy (or its equivalence check) is active.
@@ -244,18 +296,19 @@ class SimulationEngine:
         self._pending_specs: list[TransactionSpec] = []
         # Parked-frame reverse index: blocker key -> ids of frames parked on it.
         self._parked_by_key: dict[str, set[str]] = {}
-        # Delayed-restart queue: (due tick, sequence, spec, attempt, lineage)
-        # min-heap; the sequence keeps equal due ticks FIFO and deterministic.
-        self._delayed_restarts: list[tuple[int, int, TransactionSpec, int, int]] = []
+        # Unified event heap: (due tick, kind, sequence, payload) covering
+        # delayed restarts (payload = (spec, attempt, lineage)) and streamed
+        # arrivals (payload = spec).  The kind keeps restarts ahead of
+        # arrivals at an equal due tick and the per-kind sequence keeps
+        # equal keys FIFO — both matching the order the split queues had.
+        self._events: list[tuple[int, int, int, Any]] = []
         self._restart_sequence = itertools.count()
+        self._arrival_sequence = itertools.count()
+        self._last_arrival_tick = 0
         # Lineage = original submission index, preserved across restarts so
         # the restart policy can reason about transaction seniority.
         self._lineage_counter = itertools.count()
         self._lineage_of: dict[str, int] = {}
-        # Open-system stream: (arrival tick, spec) in non-decreasing tick
-        # order, released into the engine as the clock crosses each tick.
-        self._arrivals: list[tuple[int, TransactionSpec]] = []
-        self._arrival_cursor = 0
         self._arrival_process: ArrivalProcess | None = None
         # Arrival tick per lineage, for the arrival -> commit latency.
         self._arrival_tick_of: dict[int, int] = {}
@@ -339,9 +392,15 @@ class SimulationEngine:
         ]
         for spec in specs:
             self.object_base.environment.method(spec.method_name)  # validate early
-        start = self._arrivals[-1][0] if self._arrivals else 0
+        # Successive streams are concatenated in time: the new schedule is
+        # offset by the latest arrival tick queued so far.
+        start = self._last_arrival_tick
         for tick, spec in zip(process.schedule(len(specs)), specs):
-            self._arrivals.append((start + tick, spec))
+            due = start + tick
+            self._last_arrival_tick = due
+            heapq.heappush(
+                self._events, (due, _EVENT_ARRIVAL, next(self._arrival_sequence), spec)
+            )
 
     def run_stream(
         self, specs, arrival: "ArrivalProcess | str | dict" = "poisson"
@@ -372,35 +431,11 @@ class SimulationEngine:
             self._admit(spec)
         self._pending_specs = []
 
-        while (
-            self._frames or self._delayed_restarts or self._has_pending_arrivals()
-        ) and self._tick < self.max_ticks:
-            self._release_due_restarts()
-            self._release_due_arrivals()
-            frame_id = self._choose_frame()
-            if frame_id is None:
-                next_due = self._next_event_tick()
-                if next_due is not None:
-                    # Nothing is runnable until a delayed restart matures or
-                    # the next transaction arrives: fast-forward the clock
-                    # to the next due tick (the wait costs time, not
-                    # scheduling decisions).  The jump is clamped to the
-                    # tick budget so a truncated run never reports a
-                    # makespan beyond max_ticks.
-                    self._tick = min(max(self._tick, next_due), self.max_ticks)
-                    self.metrics.total_ticks = self._tick
-                    if self._tick >= self.max_ticks:
-                        break
-                    continue
-                # No runnable frame.  If frames are parked, a wake-up was
-                # missed (a scheduler bug) or the wait cannot resolve; force
-                # a retry round rather than dropping the transactions.
-                if not self._force_wake_all():
-                    break
-                continue
-            self._tick += 1
-            self.metrics.total_ticks = self._tick
-            self._advance(self._frames[frame_id])
+        if self.hot_loop == SCAN_LOOP:
+            self._run_scan_loop()
+        else:
+            self._run_event_loop()
+        self.metrics.total_ticks = self._tick
 
         # A run cut off at max_ticks may leave frames parked; account their
         # wait so the contention metrics do not understate truncated runs.
@@ -428,29 +463,104 @@ class SimulationEngine:
             ),
         )
 
-    def _has_pending_arrivals(self) -> bool:
-        return self._arrival_cursor < len(self._arrivals)
+    def _run_event_loop(self) -> None:
+        """The default hot loop: O(1) frame choice, single event heap.
+
+        Per decision this touches the ready list tail (or one RNG draw),
+        the heap head and the frame generator — no per-tick scans and no
+        per-tick allocations.  Hot attributes are bound to locals once;
+        decisions are accumulated locally and flushed to the metrics when
+        the loop exits.
+        """
+        frames = self._frames
+        events = self._events
+        ready = self._ready
+        metrics = self.metrics
+        heappop = heapq.heappop
+        rng_choice = self.rng.choice
+        random_scheduling = self.scheduling == "random"
+        max_ticks = self.max_ticks
+        decisions = 0
+        try:
+            while (frames or events) and self._tick < max_ticks:
+                tick = self._tick
+                while events and events[0][0] <= tick:
+                    due, kind, _, payload = heappop(events)
+                    if kind == _EVENT_RESTART:
+                        spec, attempt, lineage = payload
+                        metrics.restarts += 1
+                        self._start_transaction(spec, attempt=attempt, lineage=lineage)
+                    else:
+                        metrics.submitted += 1
+                        metrics.arrived += 1
+                        self._admit(payload, arrival_tick=due)
+                if ready:
+                    if random_scheduling:
+                        frame = rng_choice(ready)[1]
+                    else:
+                        index = self._round_robin_cursor % len(ready)
+                        self._round_robin_cursor = index + 1
+                        frame = ready[index][1]
+                    self._tick = tick + 1
+                    decisions += 1
+                    self._advance(frame)
+                    continue
+                if events:
+                    # Nothing is runnable until the next event matures:
+                    # fast-forward the clock to its due tick (the wait
+                    # costs time, not scheduling decisions), clamped to
+                    # the tick budget so a truncated run never reports a
+                    # makespan beyond max_ticks.
+                    self._tick = min(events[0][0], max_ticks)
+                    continue
+                # No runnable frame and no pending event.  If frames are
+                # parked, a wake-up was missed (a scheduler bug) or the
+                # wait cannot resolve; force a retry round rather than
+                # dropping the transactions.
+                if not self._force_wake_all():
+                    break
+        finally:
+            metrics.decisions += decisions
+
+    def _run_scan_loop(self) -> None:
+        """The legacy hot loop: a frame scan per tick (``hot_loop="scan"``).
+
+        Kept as the bit-identity oracle for the ready list and as the
+        in-run reference the E16 benchmark measures its speedup against.
+        Event release and fast-forward share the unified heap.
+        """
+        while (self._frames or self._events) and self._tick < self.max_ticks:
+            self._release_due_events()
+            frame = self._choose_frame_scan()
+            if frame is None:
+                if self._events:
+                    self._tick = min(self._events[0][0], self.max_ticks)
+                    continue
+                if not self._force_wake_all():
+                    break
+                continue
+            self._tick += 1
+            self.metrics.decisions += 1
+            self._advance(frame)
+
+    def _release_due_events(self) -> None:
+        """Release every queued restart/arrival whose due tick was reached."""
+        events = self._events
+        tick = self._tick
+        while events and events[0][0] <= tick:
+            due, kind, _, payload = heapq.heappop(events)
+            if kind == _EVENT_RESTART:
+                spec, attempt, lineage = payload
+                self.metrics.restarts += 1
+                self._start_transaction(spec, attempt=attempt, lineage=lineage)
+            else:
+                self.metrics.submitted += 1
+                self.metrics.arrived += 1
+                self._admit(payload, arrival_tick=due)
 
     def _next_event_tick(self) -> int | None:
         """The earliest tick a queued restart or arrival becomes due, if any."""
-        candidates = []
-        if self._delayed_restarts:
-            candidates.append(self._delayed_restarts[0][0])
-        if self._has_pending_arrivals():
-            candidates.append(self._arrivals[self._arrival_cursor][0])
-        return min(candidates) if candidates else None
-
-    def _release_due_arrivals(self) -> None:
-        """Admit every streamed transaction whose arrival tick has been reached."""
-        while (
-            self._arrival_cursor < len(self._arrivals)
-            and self._arrivals[self._arrival_cursor][0] <= self._tick
-        ):
-            due, spec = self._arrivals[self._arrival_cursor]
-            self._arrival_cursor += 1
-            self.metrics.submitted += 1
-            self.metrics.arrived += 1
-            self._admit(spec, arrival_tick=due)
+        return self._events[0][0] if self._events else None
 
     def _admit(self, spec: TransactionSpec, arrival_tick: int = 0) -> None:
         """A new lineage enters the system (first attempt)."""
@@ -461,9 +571,14 @@ class SimulationEngine:
             self.metrics.in_flight_peak = self._in_flight
         self._start_transaction(spec, attempt=1, lineage=lineage)
 
-    def _choose_frame(self) -> str | None:
+    def _choose_frame_scan(self) -> _Frame | None:
+        """The legacy chooser: scan the frame table for ready frames.
+
+        The candidate list is in frame-table insertion order == creation
+        order, which is what the maintained ready list reproduces.
+        """
         candidates = [
-            frame_id for frame_id, frame in self._frames.items() if frame.status == _READY
+            frame for frame in self._frames.values() if frame.status == _READY
         ]
         if not candidates:
             return None
@@ -472,6 +587,42 @@ class SimulationEngine:
         index = self._round_robin_cursor % len(candidates)
         self._round_robin_cursor = index + 1
         return candidates[index]
+
+    # ------------------------------------------------------------------
+    # the ready list
+    # ------------------------------------------------------------------
+
+    def _ready_add(self, frame: _Frame) -> None:
+        """Insert a ready frame, keeping the list sorted by creation seq.
+
+        Frames usually become ready in creation order, so the common case
+        is an O(1) append; a wake of an old frame pays one bisect insert.
+        """
+        entry = (frame.seq, frame)
+        ready = self._ready
+        if not ready or frame.seq > ready[-1][0]:
+            ready.append(entry)
+        else:
+            insort(ready, entry)
+
+    def _ready_remove(self, frame: _Frame) -> None:
+        ready = self._ready
+        # (seq,) sorts immediately before (seq, frame), so bisect_left
+        # lands on the entry itself; seqs are unique so the frame halves
+        # of the pairs are never compared.
+        index = bisect_left(ready, (frame.seq,))
+        if index < len(ready) and ready[index][0] == frame.seq:
+            del ready[index]
+
+    def _set_ready(self, frame: _Frame) -> None:
+        if frame.status != _READY:
+            frame.status = _READY
+            self._ready_add(frame)
+
+    def _set_not_ready(self, frame: _Frame, status: str) -> None:
+        if frame.status == _READY:
+            self._ready_remove(frame)
+        frame.status = status
 
     # ------------------------------------------------------------------
     # parking and wake-ups
@@ -486,9 +637,13 @@ class SimulationEngine:
         """
         if not blockers:
             return frozenset()
-        live_transactions = {frame.info.top_level_id for frame in self._frames.values()}
+        frames = self._frames
+        # Live top-level ids == keys of the execution index: an entry is
+        # created when the top frame starts and dropped in the same call
+        # that retires it (commit or abort), so no set rebuild is needed.
+        live_transactions = self._executions_by_transaction
         return frozenset(
-            key for key in blockers if key in self._frames or key in live_transactions
+            key for key in blockers if key in frames or key in live_transactions
         )
 
     def _park(self, frame: _Frame, blockers: frozenset[str], *, commit: bool) -> bool:
@@ -496,7 +651,8 @@ class SimulationEngine:
         keys = self._live_blocker_keys(blockers)
         if not keys:
             return False
-        frame.status = _PARKED
+        self._set_not_ready(frame, _PARKED)
+        self._parked_count += 1
         frame.parked_on = keys
         frame.parked_since = self._tick
         for key in keys:
@@ -508,6 +664,7 @@ class SimulationEngine:
 
     def _clear_parking(self, frame: _Frame) -> None:
         """Remove the frame from the park index and account its wait time."""
+        self._parked_count -= 1
         for key in frame.parked_on:
             waiters = self._parked_by_key.get(key)
             if waiters is not None:
@@ -527,7 +684,7 @@ class SimulationEngine:
         if frame is None or frame.status != _PARKED:
             return
         self._clear_parking(frame)
-        frame.status = _READY
+        self._set_ready(frame)
         self.metrics.wakes += 1
         self._record(WOKEN, frame.execution_id, detail=detail)
 
@@ -537,13 +694,22 @@ class SimulationEngine:
         Combines the scheduler's accumulated wake set (lock releases and
         transfers) with the engine's own keys (transaction ends).
         """
-        keys = set(self.scheduler.drain_wakeups())
-        keys.update(extra_keys)
-        if not keys or not self._parked_by_key:
+        pending = self.scheduler.drain_wakeups()
+        parked_by_key = self._parked_by_key
+        if not parked_by_key:
+            return
+        if extra_keys:
+            keys = set(pending)
+            keys.update(extra_keys)
+        elif pending:
+            keys = pending
+        else:
             return
         for key in keys:
-            for frame_id in list(self._parked_by_key.get(key, ())):
-                self._wake_frame(frame_id, detail=key)
+            waiters = parked_by_key.get(key)
+            if waiters:
+                for frame_id in list(waiters):
+                    self._wake_frame(frame_id, detail=key)
 
     def _force_wake_all(self) -> bool:
         """Last-resort stall breaker: wake every parked frame for a retry."""
@@ -574,23 +740,24 @@ class SimulationEngine:
             ancestor_ids=(),
             top_level_id=execution.execution_id,
         )
-        frame = _Frame(info=info, execution=execution, spec=spec, attempt=attempt)
+        frame = _Frame(
+            info=info,
+            execution=execution,
+            spec=spec,
+            attempt=attempt,
+            seq=next(self._frame_sequence),
+        )
         context = MethodContext(info.object_name, info.execution_id, spec.method_name)
         frame.generator = definition.body(context, *spec.arguments)
+        frame.is_generator = self._is_generator(frame.generator)
         self._frames[info.execution_id] = frame
+        self._ready_add(frame)
         self._executions_by_transaction[info.execution_id] = {info.execution_id}
         self._lineage_of[info.execution_id] = lineage
         if attempt == 1:
             self.restart_policy.on_submit(lineage)
         self.scheduler.on_transaction_begin(info)
         self._record(BEGIN if attempt == 1 else RESTARTED, info.execution_id, detail=spec.label)
-
-    def _release_due_restarts(self) -> None:
-        """Resubmit every delayed restart whose due tick has been reached."""
-        while self._delayed_restarts and self._delayed_restarts[0][0] <= self._tick:
-            _, _, spec, attempt, lineage = heapq.heappop(self._delayed_restarts)
-            self.metrics.restarts += 1
-            self._start_transaction(spec, attempt=attempt, lineage=lineage)
 
     def _spawn_child(self, parent: _Frame, invocation: InvokeRequest, after) -> _Frame:
         definition = self.object_base.method(invocation.object_name, invocation.method_name)
@@ -609,10 +776,18 @@ class SimulationEngine:
             ancestor_ids=(parent.execution_id,) + parent.info.ancestor_ids,
             top_level_id=parent.info.top_level_id,
         )
-        child = _Frame(info=info, execution=child_execution, parent=parent, attempt=parent.attempt)
+        child = _Frame(
+            info=info,
+            execution=child_execution,
+            parent=parent,
+            attempt=parent.attempt,
+            seq=next(self._frame_sequence),
+        )
         context = MethodContext(info.object_name, info.execution_id, info.method_name)
         child.generator = definition.body(context, *invocation.arguments)
+        child.is_generator = self._is_generator(child.generator)
         self._frames[info.execution_id] = child
+        self._ready_add(child)
         self._executions_by_transaction.setdefault(info.top_level_id, set()).add(info.execution_id)
         self.scheduler.on_invoke(parent.info, info)
         self.metrics.invocations += 1
@@ -633,7 +808,7 @@ class SimulationEngine:
             self._resolve_local(frame, frame.pending_local)
             return
         try:
-            if not self._is_generator(frame.generator):
+            if not frame.is_generator:
                 # A plain function body: its return value is immediate.
                 self._complete_frame(frame, frame.generator)
                 return
@@ -657,7 +832,7 @@ class SimulationEngine:
             self._resolve_local(frame, request)
         elif isinstance(request, InvokeRequest):
             child = self._spawn_child(frame, request, after=None)
-            frame.status = _WAITING
+            self._set_not_ready(frame, _WAITING)
             frame.waiting_on = {child.execution_id}
             frame.parallel_order = []
         elif isinstance(request, ParallelRequest):
@@ -666,7 +841,7 @@ class SimulationEngine:
                 self._spawn_child(frame, invocation, after=existing_steps)
                 for invocation in request.invocations
             ]
-            frame.status = _WAITING
+            self._set_not_ready(frame, _WAITING)
             frame.waiting_on = {child.execution_id for child in children}
             frame.parallel_order = [child.execution_id for child in children]
             frame.parallel_results = {}
@@ -678,15 +853,22 @@ class SimulationEngine:
     # -- local operations ---------------------------------------------------------
 
     def _resolve_local(self, frame: _Frame, request: LocalRequest) -> None:
-        object_name = frame.info.object_name
+        info = frame.info
+        object_name = info.object_name
         operation = request.operation
-        state = self._states.get(object_name, ObjectState())
-        provisional_value, _ = operation.apply(state)
-        provisional_step = LocalStep(
-            frame.execution_id, object_name, operation, provisional_value
-        )
+        metrics = self.metrics
+        pre_state = self._states.get(object_name)
+        if pre_state is None:
+            pre_state = _EMPTY_STATE
+        # One application serves both the provisional step the scheduler
+        # inspects and — when granted — the recorded step: operations are
+        # pure functions of the state, and the scheduler cannot change the
+        # object states, so re-applying after the grant would recompute
+        # the identical (value, new state) pair.
+        value, new_state = operation.apply(pre_state)
+        provisional_step = LocalStep(info.execution_id, object_name, operation, value)
         operation_request = OperationRequest(
-            info=frame.info,
+            info=info,
             object_name=object_name,
             operation=operation,
             provisional_step=provisional_step,
@@ -697,35 +879,33 @@ class SimulationEngine:
             frame.blocked_attempts += 1
             self._record(BLOCKED, frame.execution_id, object_name, response.reason)
             if frame.blocked_attempts >= self.starvation_limit:
-                self._abort_transaction(frame.info.top_level_id, "starvation: blocked too long")
+                self._abort_transaction(info.top_level_id, "starvation: blocked too long")
                 return
             if not self._park(frame, response.blockers, commit=False):
                 # No live blocker to key a wake-up on: stay runnable and
                 # retry (the pre-event-driven behaviour), which keeps the
                 # starvation valve meaningful for degenerate schedulers.
-                self.metrics.blocked_ticks += 1
-                self.metrics.wait_ticks += 1
+                metrics.blocked_ticks += 1
+                metrics.wait_ticks += 1
             return
         if response.aborted:
             frame.pending_local = None
-            self._abort_transaction(frame.info.top_level_id, response.reason)
+            self._abort_transaction(info.top_level_id, response.reason)
             return
 
-        # Granted: execute against the current state and record the step.
+        # Granted: commit the already-computed transition and record the step.
         frame.pending_local = None
         frame.blocked_attempts = 0
-        pre_state = self._states.get(object_name, ObjectState())
-        value, new_state = operation.apply(pre_state)
         self._states[object_name] = new_state
-        self._builder.local(frame.execution, operation, return_value=value)
+        self._builder.record_local(frame.execution, operation, value)
         self._undo_log.record(
-            object_name, frame.execution_id, frame.info.top_level_id, operation, pre_state
+            object_name, info.execution_id, info.top_level_id, operation, pre_state
         )
         if self._full_log is not None:
             self._full_log.append(
-                _StepLogEntry(frame.execution_id, frame.info.top_level_id, object_name, operation)
+                _StepLogEntry(info.execution_id, info.top_level_id, object_name, operation)
             )
-        self.metrics.local_steps += 1
+        metrics.local_steps += 1
         self.scheduler.on_operation_executed(operation_request, value)
         self._record(GRANTED, frame.execution_id, object_name, operation.name)
         frame.inbox = value
@@ -733,7 +913,7 @@ class SimulationEngine:
     # -- completion -----------------------------------------------------------------
 
     def _complete_frame(self, frame: _Frame, return_value: Any) -> None:
-        frame.status = _DONE
+        self._set_not_ready(frame, _DONE)
         if frame.parent is None:
             self._complete_top_level(frame, return_value)
             return
@@ -761,11 +941,11 @@ class SimulationEngine:
                 ]
                 parent.parallel_order = []
                 parent.parallel_results = {}
-                parent.status = _READY
+                self._set_ready(parent)
         else:
             if not parent.waiting_on:
                 parent.inbox = return_value
-                parent.status = _READY
+                self._set_ready(parent)
 
     def _complete_top_level(self, frame: _Frame, return_value: Any) -> None:
         response = self.scheduler.on_commit_request(frame.info)
@@ -773,7 +953,7 @@ class SimulationEngine:
             # The scheduler defers the commit (e.g. until the transactions
             # whose effects this one observed have resolved); park at the
             # commit point and retry on wake-up.
-            frame.status = _READY  # _complete_frame marked it done
+            self._set_ready(frame)  # _complete_frame marked it done
             frame.pending_commit = True
             frame.commit_value = return_value
             frame.blocked_attempts += 1
@@ -797,6 +977,8 @@ class SimulationEngine:
         self.metrics.committed += 1
         self._committed.append(frame.execution_id)
         self._record(COMMITTED, frame.execution_id, detail=str(return_value))
+        # Re-entered commits (pending_commit retries) arrive here _READY.
+        self._set_not_ready(frame, _DONE)
         self._frames.pop(frame.execution_id, None)
         self._undo_log.forget_transaction(frame.info.top_level_id)
         lineage = self._lineage_of.pop(frame.execution_id, None)
@@ -835,18 +1017,18 @@ class SimulationEngine:
 
     def _abort_transaction(self, top_level_id: str, reason: str) -> None:
         top_frame = self._frames.get(top_level_id)
-        subtree_frames = [
-            frame
-            for frame in self._frames.values()
-            if frame.info.top_level_id == top_level_id
-        ]
-        # Every execution ever created for this attempt (including completed
-        # children whose frames are already gone) belongs to the aborted
-        # subtree; the paper's abort semantics require descendants to abort
-        # with their ancestor.
-        subtree_ids = set(self._executions_by_transaction.get(top_level_id, set()))
-        subtree_ids.update(frame.execution_id for frame in subtree_frames)
+        # Every execution ever created for this attempt belongs to the
+        # aborted subtree (including completed children whose frames are
+        # already gone); the paper's abort semantics require descendants to
+        # abort with their ancestor.  The execution index records exactly
+        # that set, so the subtree's live frames come from id lookups, not
+        # a scan of the whole frame table.
+        subtree_ids = set(self._executions_by_transaction.get(top_level_id, ()))
         subtree_ids.add(top_level_id)
+        frames = self._frames
+        subtree_frames = [
+            frames[execution_id] for execution_id in subtree_ids if execution_id in frames
+        ]
 
         self._aborted_executions.update(subtree_ids)
         self.metrics.aborted_attempts += 1
@@ -868,7 +1050,7 @@ class SimulationEngine:
         for frame in subtree_frames:
             if frame.status == _PARKED:
                 self._clear_parking(frame)
-            frame.status = _DONE
+            self._set_not_ready(frame, _DONE)
             self._frames.pop(frame.execution_id, None)
         self.metrics.wasted_steps += self._undo_states(top_level_id, subtree_ids)
 
@@ -896,8 +1078,13 @@ class SimulationEngine:
                 self.metrics.delayed_restarts += 1
                 self.metrics.restart_delay_ticks += delay
                 heapq.heappush(
-                    self._delayed_restarts,
-                    (self._tick + delay, next(self._restart_sequence), spec, attempt + 1, lineage),
+                    self._events,
+                    (
+                        self._tick + delay,
+                        _EVENT_RESTART,
+                        next(self._restart_sequence),
+                        (spec, attempt + 1, lineage),
+                    ),
                 )
                 self._record(RESTART_SCHEDULED, top_level_id, detail=f"+{delay} ticks: {reason}")
         else:
@@ -933,8 +1120,11 @@ class SimulationEngine:
         # Sample the gauge *before* pruning: the peak must reflect what was
         # actually retained between passes (a post-prune sample would hide
         # exactly the growth the gauge exists to expose).
-        parked = sum(1 for frame in self._frames.values() if frame.status == _PARKED)
-        sample = self.scheduler.live_state_size() + self._undo_log.total_steps() + parked
+        sample = (
+            self.scheduler.live_state_size()
+            + self._undo_log.total_steps()
+            + self._parked_count
+        )
         self.metrics.note_live_state(sample, self._in_flight)
         self.scheduler.collect_garbage()
         self._undo_log.collect()

@@ -44,6 +44,13 @@ class RunMetrics:
     """Aggregate counters of one simulation run."""
 
     total_ticks: int = 0
+    #: Scheduling decisions actually made (one runnable frame advanced per
+    #: decision).  Equal to ``total_ticks`` on closed runs; smaller on runs
+    #: whose clock fast-forwarded across idle gaps (delayed restarts,
+    #: arrival streams), where the difference is exactly the skipped idle
+    #: time.  ``decisions / wall-clock`` is the engine's raw service
+    #: throughput, which ``benchmarks/bench_e16_hot_loop.py`` tracks.
+    decisions: int = 0
     committed: int = 0
     aborted_attempts: int = 0
     gave_up: int = 0
@@ -174,6 +181,7 @@ class RunMetrics:
     def as_dict(self) -> dict[str, Any]:
         return {
             "total_ticks": self.total_ticks,
+            "decisions": self.decisions,
             "committed": self.committed,
             "aborted_attempts": self.aborted_attempts,
             "gave_up": self.gave_up,

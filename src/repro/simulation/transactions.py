@@ -28,14 +28,14 @@ from ..core.errors import SimulationError
 from ..core.operations import LocalOperation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalRequest:
     """Request to execute a local operation on the issuing method's object."""
 
     operation: LocalOperation
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InvokeRequest:
     """Request to invoke ``method_name`` of ``object_name`` as a child execution."""
 
@@ -44,7 +44,7 @@ class InvokeRequest:
     arguments: tuple[Any, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParallelRequest:
     """Request to run several invocations as concurrent child executions."""
 
@@ -61,6 +61,8 @@ class MethodContext:
     execution it belongs to, so ``ctx.local`` does not need to repeat the
     object name.
     """
+
+    __slots__ = ("object_name", "execution_id", "method_name")
 
     def __init__(self, object_name: str, execution_id: str, method_name: str):
         self.object_name = object_name

@@ -1,0 +1,63 @@
+"""Re-verification: E14/E15 sweeps still reproduce their committed rows.
+
+The hot-loop rewrite (PR 6) must not change *what* the engine computes,
+only how fast — and the strongest cross-PR witness of that is the
+benchmark trajectory itself: every machine-independent column of the
+E14 restart-policy storm and the E15 open-system sweep must come out
+bit-identical to the rows recorded before the rewrite.  Wall-clock
+columns are not part of the comparison (that is ``compare_bench``'s
+noise-floored job).
+
+The comparison targets the *latest* recorded sweep per experiment: the
+trajectory files append one sweep per regeneration, and it is the most
+recent one the current code claims to reproduce.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import bench_e14_restart_policies as e14
+from benchmarks import bench_e15_open_system as e15
+
+
+def latest_recorded_sweep(path, count):
+    if not path.exists():
+        pytest.skip(f"no recorded trajectory at {path}")
+    rows = json.loads(path.read_text()).get("rows", [])
+    if len(rows) < count:
+        pytest.skip(f"{path.name} holds {len(rows)} rows; need {count}")
+    return rows[-count:]
+
+
+def assert_rows_match(fresh_rows, recorded_rows, columns, label_fields):
+    assert len(fresh_rows) == len(recorded_rows)
+    for fresh, recorded in zip(fresh_rows, recorded_rows):
+        label = "/".join(str(fresh.get(field)) for field in label_fields)
+        diffs = {
+            column: (recorded.get(column), fresh.get(column))
+            for column in columns
+            if fresh.get(column) != recorded.get(column)
+        }
+        assert not diffs, (
+            f"{label}: deterministic columns drifted from the committed "
+            f"baseline (recorded, fresh): {diffs}"
+        )
+
+
+class TestCommittedSweepsReproduce:
+    def test_e14_restart_policy_rows_are_bit_identical(self):
+        fresh = e14.run_experiment()
+        recorded = latest_recorded_sweep(e14.BENCH_JSON, len(fresh))
+        # Every E14 column is a pure function of the scenario spec: counts,
+        # tick-derived ratios and certification verdicts.
+        assert_rows_match(fresh, recorded, e14.COLUMNS, ("policy",))
+
+    def test_e15_open_system_rows_are_bit_identical(self):
+        if e15.ARRIVALS != e15.DEFAULT_ARRIVALS:
+            pytest.skip("REPRO_E15_ARRIVALS overrides the recorded scenario size")
+        fresh = e15.run_experiment()
+        recorded = latest_recorded_sweep(e15.BENCH_JSON, len(fresh))
+        assert_rows_match(fresh, recorded, e15.COLUMNS, ("scheduler", "arrival"))

@@ -1,0 +1,185 @@
+"""The event-driven hot loop against its bit-identity oracle.
+
+The PR-6 rewrite replaced the per-tick frame scan with a maintained ready
+list and a unified event heap (``hot_loop="event"``), keeping the legacy
+scan loop (``hot_loop="scan"``) precisely so the two can be compared: the
+refactor's contract is that *every* observable of a run — metrics,
+committed order, aborted executions, the trace, the recorded history — is
+bit-identical under both strategies, for every scheduler, restart policy,
+commit-gate mode, scheduling policy and seed.
+
+A second contract rides along: the hot record types are ``__slots__``-ed
+(the rewrite's memory/speed pass), and a slotted type silently regaining a
+``__dict__`` is a regression this file fails loudly on.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.executions import MethodExecution
+from repro.core.operations import LocalStep
+from repro.core.state import AppliedStep, ObjectState
+from repro.objectbase.adts.register import WriteRegister
+from repro.scheduler import make_scheduler
+from repro.scheduler.base import ExecutionInfo, OperationRequest, SchedulerResponse
+from repro.scheduler.certifier import _CandidateEdge
+from repro.scheduler.locks import LockEntry
+from repro.scheduler.nto import _StepRecord
+from repro.scheduler.recovery import _GateRecord
+from repro.simulation.engine import _Frame
+from repro.simulation.events import TraceEvent
+from repro.simulation.transactions import MethodContext
+from repro.simulation.workloads import make_workload
+
+#: Schedulers whose factories accept the CommitGate ``gate_mode`` axis.
+GATE_AWARE = {"nto", "nto-step", "certifier", "modular"}
+
+scheduler_names = st.sampled_from(
+    ["n2pl", "n2pl-step", "nto", "nto-step", "single-active", "certifier", "modular"]
+)
+restart_policies = st.sampled_from(["immediate", "backoff", "ordered"])
+gate_modes = st.sampled_from(["cascade", "aca"])
+scheduling_policies = st.sampled_from(["random", "round-robin"])
+
+
+def contended_engine(scheduler, *, seed, scheduling, hot_loop, stream):
+    """A small but genuinely contended scenario (parks, aborts, restarts)."""
+    workload = make_workload(
+        "hotspot",
+        transactions=14,
+        hot_objects=2,
+        cold_objects=8,
+        operations_per_transaction=3,
+        hot_probability=0.7,
+        seed=seed,
+    )
+    base, specs = workload.build()
+    from repro.simulation import SimulationEngine
+
+    engine = SimulationEngine(
+        base,
+        scheduler,
+        seed=seed,
+        scheduling=scheduling,
+        hot_loop=hot_loop,
+        record_trace=True,
+    )
+    if stream:
+        engine.submit_stream(specs, {"name": "poisson", "rate": 0.2})
+    else:
+        engine.submit_all(specs)
+    return engine
+
+
+def observables(result):
+    """Everything a run exposes, in directly comparable form.
+
+    Step ids come from a process-global counter, so two runs in the same
+    process number their (otherwise identical) steps differently; the ids
+    are masked and the steps compared in creation order instead.
+    """
+    steps = sorted(result.history.steps(), key=lambda step: step.step_id)
+    return (
+        result.metrics.as_dict(),
+        result.committed_transaction_ids,
+        result.aborted_execution_ids,
+        tuple(result.trace.events),
+        repr(result.history),
+        [
+            (step.execution_id, re.sub(r"id=\d+", "id=*", repr(step)))
+            for step in steps
+        ],
+    )
+
+
+class TestEventLoopBitIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scheduler=scheduler_names,
+        policy=restart_policies,
+        gate_mode=gate_modes,
+        scheduling=scheduling_policies,
+        stream=st.booleans(),
+        seed=st.integers(0, 10_000),
+    )
+    def test_event_equals_scan(self, scheduler, policy, gate_mode, scheduling, stream, seed):
+        kwargs = {"restart_policy": policy}
+        if scheduler in GATE_AWARE:
+            kwargs["gate_mode"] = gate_mode
+        results = []
+        for hot_loop in ("event", "scan"):
+            engine = contended_engine(
+                make_scheduler(scheduler, **kwargs),
+                seed=seed,
+                scheduling=scheduling,
+                hot_loop=hot_loop,
+                stream=stream,
+            )
+            results.append(engine.run())
+        event, scan = results
+        assert observables(event) == observables(scan)
+
+    def test_unknown_hot_loop_is_rejected(self):
+        from repro.simulation import SimulationEngine
+        from repro.simulation.engine import SimulationError
+
+        workload = make_workload("hotspot", transactions=2, seed=1)
+        base, _ = workload.build()
+        with pytest.raises(SimulationError):
+            SimulationEngine(base, make_scheduler("n2pl"), hot_loop="warp")
+
+
+#: Every hot record type the rewrite slotted.  A class in this list whose
+#: MRO (below ``object``) re-introduces ``__dict__`` fails the audit.
+SLOTTED_HOT_TYPES = [
+    _Frame,
+    MethodExecution,
+    _CandidateEdge,
+    _GateRecord,
+    _StepRecord,
+    LockEntry,
+    AppliedStep,
+    MethodContext,
+    TraceEvent,
+    ExecutionInfo,
+    OperationRequest,
+    SchedulerResponse,
+]
+
+
+class TestSlottedHotRecords:
+    @pytest.mark.parametrize(
+        "hot_type", SLOTTED_HOT_TYPES, ids=lambda t: t.__name__
+    )
+    def test_hot_type_has_no_instance_dict(self, hot_type):
+        offenders = [
+            klass.__name__
+            for klass in hot_type.__mro__
+            if klass is not object and "__dict__" in vars(klass)
+        ]
+        assert not offenders, (
+            f"{hot_type.__name__} regained an instance __dict__ via {offenders}; "
+            "hot records must stay __slots__-only"
+        )
+
+    def test_instances_reject_dynamic_attributes(self):
+        operation = WriteRegister(7)
+        instances = [
+            MethodExecution("T1", "environment", "txn"),
+            MethodContext("A", "T1", "txn"),
+            LockEntry("T1", "A", operation),
+            AppliedStep("T1.1", "T1", "A", operation, ObjectState()),
+            TraceEvent(0, "BEGIN", "T1"),
+            LocalStep("T1", "environment", operation, None),
+        ]
+        for instance in instances:
+            # Frozen slotted dataclasses raise TypeError on 3.11 (the
+            # regenerated class confuses the frozen __setattr__'s zero-arg
+            # super, CPython gh-90562); either way the attribute must be
+            # rejected.
+            with pytest.raises((AttributeError, TypeError)):
+                instance.definitely_not_a_slot = 1
