@@ -26,6 +26,10 @@ Watched files:
 * ``BENCH_e15_open_system.json`` — each open-system scenario's
   ``commit_rate`` and ``throughput`` (committed over makespan), pure
   functions of the deterministic arrival stream.
+* ``BENCH_e17_streaming_certification.json`` — each scheduler's
+  ``certify_relative_throughput`` (plain wall clock over certified wall
+  clock, an in-run ratio): the streaming certifier's O(new-work)
+  overhead drifting back towards post-hoc cost shows up here.
 """
 
 from __future__ import annotations
@@ -92,6 +96,18 @@ WATCHES = (
         # Stream scenarios finish the scan run in ~half a second; anything
         # quicker than the floor is timing jitter, not signal.
         noise_floor=("wall_seconds_scan", 0.25),
+    ),
+    Watch(
+        name="E17",
+        path=BENCH_DIR / "BENCH_e17_streaming_certification.json",
+        key_fields=("scheduler",),
+        # The certification overhead as a *throughput* ratio (plain wall
+        # over certified wall) so that, like every watched column, higher
+        # is better; ``commit_rate`` rides along as the determinism canary.
+        columns=("certify_relative_throughput", "commit_rate"),
+        # Both walls come from the same in-process run pair, but a plain
+        # run quicker than the floor makes the ratio scheduling jitter.
+        noise_floor=("wall_seconds_plain", 0.25),
     ),
 )
 

@@ -7,6 +7,7 @@ warning.
 """
 
 from .certify import CertificationReport, certify_history, certify_run
+from .streaming import StreamingCertifier
 from .report import (
     format_comparison,
     format_markdown_table,
@@ -19,6 +20,7 @@ from .stats import HistoryStatistics, history_statistics
 __all__ = [
     "CertificationReport",
     "HistoryStatistics",
+    "StreamingCertifier",
     "certify_history",
     "certify_run",
     "format_comparison",

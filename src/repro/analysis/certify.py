@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+import networkx as nx
+
 from ..core.errors import IllegalHistoryError
 from ..core.graphs import (
     incremental_serialisation_graph,
@@ -42,6 +44,12 @@ class CertificationReport:
     sg_nodes: int = 0
     sg_edges: int = 0
     serial_order: tuple[str, ...] = ()
+    #: Sorted execution ids on some serialisation-graph cycle (the nodes of
+    #: the graph's non-trivial strongly connected components), or ``None``
+    #: when the graph is acyclic.  The node *set* is canonical — unlike a
+    #: single reported cycle it does not depend on edge insertion order —
+    #: so the streaming certifier can be compared against it bit-for-bit.
+    cycle: tuple[str, ...] | None = None
 
     @property
     def correct(self) -> bool:
@@ -60,7 +68,27 @@ class CertificationReport:
             "committed_local_steps": self.committed_local_steps,
             "sg_nodes": self.sg_nodes,
             "sg_edges": self.sg_edges,
+            "serial_order": list(self.serial_order),
+            "cycle": None if self.cycle is None else list(self.cycle),
         }
+
+
+def cyclic_nodes(graph: nx.DiGraph) -> tuple[str, ...]:
+    """All nodes on some cycle of ``graph``, as a sorted tuple.
+
+    A non-trivial strongly connected component contains exactly the nodes
+    that lie on at least one cycle, so the returned set is independent of
+    the order the graph's edges were inserted in.
+    """
+    nodes: set[str] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            nodes.update(component)
+        else:
+            (node,) = component
+            if graph.has_edge(node, node):
+                nodes.add(node)
+    return tuple(sorted(nodes))
 
 
 def certify_history(
@@ -103,8 +131,10 @@ def certify_history(
     else:
         graph = serialisation_graph(history)
         serialisable = is_acyclic(graph)
+    cycle: tuple[str, ...] | None = None
     if not serialisable:
         violations.append("serialisation graph contains a cycle")
+        cycle = cyclic_nodes(graph)
 
     report5 = theorem_5_conditions(history, legacy=sg_mode == "legacy")
     if not report5.holds:
@@ -135,6 +165,7 @@ def certify_history(
         sg_nodes=graph.number_of_nodes(),
         sg_edges=graph.number_of_edges(),
         serial_order=serial_order,
+        cycle=cycle,
     )
 
 

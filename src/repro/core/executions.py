@@ -155,6 +155,10 @@ class MethodExecution:
     def step_ids(self) -> list[int]:
         return list(self._step_sequence)
 
+    def step_ids_iter(self) -> Iterable[int]:
+        """Step ids in insertion order, without copying the sequence."""
+        return iter(self._step_sequence)
+
     def local_steps(self) -> list[LocalStep]:
         return [step for step in self.steps() if isinstance(step, LocalStep)]
 

@@ -991,6 +991,37 @@ class HistoryBuilder:
         except KeyError as exc:
             raise UnknownExecutionError(f"unknown execution {execution!r}") from exc
 
+    # -- committed-subtree snapshots ------------------------------------------
+
+    def execution_record(self, execution_id: str) -> MethodExecution:
+        """The live :class:`MethodExecution` recorded under ``execution_id``.
+
+        Exposed for the streaming certifier, which snapshots a committed
+        transaction's subtree at commit time (when the subtree's steps and
+        message intervals are final) instead of waiting for :meth:`build`.
+        """
+        return self._resolve(execution_id)
+
+    def intervals_for(self, executions: Iterable[MethodExecution]) -> dict[int, tuple[int, int]]:
+        """The interval slice covering every step of the given executions.
+
+        Message steps of an unfinished execution are absent from the slice
+        only if the child never ran; for a committed subtree every message
+        has been closed by :meth:`finish`, so the slice is complete and
+        immutable.
+        """
+        slice_: dict[int, tuple[int, int]] = {}
+        intervals = self._intervals
+        for execution in executions:
+            # Iterate the id index directly: this runs once per commit on
+            # the streaming path, and materialising the step lists just to
+            # read their ids was a measurable slice of the feed cost.
+            for step_id in execution.step_ids_iter():
+                interval = intervals.get(step_id)
+                if interval is not None:
+                    slice_[step_id] = interval
+        return slice_
+
     # -- building ------------------------------------------------------------
 
     def build(self, check: bool = False) -> History:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import re
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -111,6 +112,40 @@ def serialisation_cycle(history: History) -> list[tuple[str, str]] | None:
     return find_cycle(serialisation_graph(history))
 
 
+def natural_execution_key(execution_id: str) -> tuple[tuple[int, int | str], ...]:
+    """Sort key ordering execution ids by their numeric components.
+
+    ``HistoryBuilder`` numbers top-level transactions ``T1, T2, ...``; a
+    plain string sort puts ``T10`` before ``T2``, which would make the
+    serial-order tie-break depend on how many transactions the run happens
+    to contain (and would leave the streaming certifier unable to emit a
+    rolling order: a transaction begun *later* could still sort before
+    every pending one).  Splitting the id into digit runs compares the
+    numbers numerically, so later-begun transactions always carry larger
+    keys.
+
+    Memoised: the streaming certifier's rolling emission re-keys the same
+    pending ids at every commit/abort event, which made the regex split
+    the hot loop's dominant cost on long streams.
+    """
+    cached = _KEY_CACHE.get(execution_id)
+    if cached is None:
+        if len(_KEY_CACHE) >= _KEY_CACHE_LIMIT:
+            _KEY_CACHE.clear()
+        cached = _KEY_CACHE[execution_id] = tuple(
+            (1, int(part)) if part.isdigit() else (0, part)
+            for part in re.split(r"(\d+)", execution_id)
+        )
+    return cached
+
+
+#: Keys are tiny, but a run can mint hundreds of thousands of ids; the
+#: cache resets rather than evicting (the working set — the pending ids —
+#: is always recent, so it re-fills with live entries immediately).
+_KEY_CACHE_LIMIT = 100_000
+_KEY_CACHE: dict[str, tuple[tuple[int, int | str], ...]] = {}
+
+
 def execution_serial_order(history: History, *, graph: nx.DiGraph | None = None) -> list[str]:
     """A total order of all executions compatible with ``SG(h)``.
 
@@ -141,7 +176,7 @@ def _serial_index(
         if not siblings:
             return
         restricted = graph.subgraph(siblings).copy()
-        ordered = list(nx.lexicographical_topological_sort(restricted, key=str))
+        ordered = list(nx.lexicographical_topological_sort(restricted, key=natural_execution_key))
         for position, execution_id in enumerate(ordered):
             index[execution_id] = prefix + (position,)
             assign(execution_id, prefix + (position,))

@@ -125,6 +125,11 @@ REPLAY_UNDO = "replay"
 EVENT_LOOP = "event"
 SCAN_LOOP = "scan"
 
+#: ``certify="stream"`` — maintain the certification verdict online via
+#: :class:`~repro.analysis.streaming.StreamingCertifier` (the only engine
+#: certify mode; post-hoc certification stays in :mod:`repro.analysis`).
+STREAM_CERTIFY = "stream"
+
 # Unified event-heap kinds.  At an equal due tick restarts sort before
 # arrivals — the release order the split queues had (due restarts were
 # drained first each iteration, then due arrivals).
@@ -246,6 +251,7 @@ class SimulationEngine:
         check_undo: bool = False,
         gc_interval: int = 64,
         hot_loop: str = EVENT_LOOP,
+        certify: bool | str = False,
     ):
         if scheduling not in ("random", "round-robin"):
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
@@ -255,6 +261,12 @@ class SimulationEngine:
             raise SimulationError(f"unknown hot_loop strategy {hot_loop!r}")
         if gc_interval < 1:
             raise SimulationError(f"gc_interval must be >= 1, got {gc_interval}")
+        if certify not in (False, STREAM_CERTIFY):
+            raise SimulationError(
+                f"unknown certify mode {certify!r}; the engine only certifies online "
+                f"(certify={STREAM_CERTIFY!r}) — for post-hoc certification run "
+                "repro.analysis.certify_run on the RunResult"
+            )
         self.object_base = object_base
         self.scheduler = scheduler
         self.seed = seed
@@ -273,6 +285,17 @@ class SimulationEngine:
             initial_states=object_base.initial_states(),
             conflicts=object_base.conflicts(conflict_level_for_history),
         )
+        self.certify = certify
+        self._certifier = None
+        if certify == STREAM_CERTIFY:
+            # Deferred import: repro.analysis pulls in simulation.metrics,
+            # which must not re-enter this module's import.
+            from ..analysis.streaming import StreamingCertifier
+
+            self._certifier = StreamingCertifier(
+                conflicts=self._builder.conflicts,
+                initial_states=object_base.initial_states(),
+            )
         self._states: dict[str, ObjectState] = dict(object_base.initial_states())
         self._frames: dict[str, _Frame] = {}
         self._executions_by_transaction: dict[str, set[str]] = {}
@@ -455,6 +478,9 @@ class SimulationEngine:
             scheduler_description=self.scheduler.describe(),
             aborted_execution_ids=frozenset(self._aborted_executions),
             committed_transaction_ids=tuple(self._committed),
+            streaming_report=(
+                self._certifier.finalise() if self._certifier is not None else None
+            ),
             trace=self._trace,
             arrival_description=(
                 self._arrival_process.describe()
@@ -757,6 +783,8 @@ class SimulationEngine:
         if attempt == 1:
             self.restart_policy.on_submit(lineage)
         self.scheduler.on_transaction_begin(info)
+        if self._certifier is not None:
+            self._certifier.note_begin(info.execution_id, self._builder.clock)
         self._record(BEGIN if attempt == 1 else RESTARTED, info.execution_id, detail=spec.label)
 
     def _spawn_child(self, parent: _Frame, invocation: InvokeRequest, after) -> _Frame:
@@ -976,6 +1004,23 @@ class SimulationEngine:
         self.scheduler.on_transaction_commit(frame.info)
         self.metrics.committed += 1
         self._committed.append(frame.execution_id)
+        if self._certifier is not None:
+            # Snapshot the committed subtree while the execution index still
+            # lists it (the index is dropped a few lines below).
+            subtree = [
+                self._builder.execution_record(execution_id)
+                for execution_id in sorted(
+                    self._executions_by_transaction.get(
+                        frame.execution_id, {frame.execution_id}
+                    )
+                )
+            ]
+            self._certifier.note_commit(
+                frame.execution_id,
+                subtree,
+                self._builder.intervals_for(subtree),
+                resolve_stamp=self._builder.clock,
+            )
         self._record(COMMITTED, frame.execution_id, detail=str(return_value))
         # Re-entered commits (pending_commit retries) arrive here _READY.
         self._set_not_ready(frame, _DONE)
@@ -1044,6 +1089,8 @@ class SimulationEngine:
             top_level_id=top_level_id,
         )
         self.scheduler.on_transaction_abort(info, tuple(sorted(subtree_ids)))
+        if self._certifier is not None:
+            self._certifier.note_abort(top_level_id)
 
         # Discard the attempt's frames (unhooking any parked ones) and undo
         # the attempt's effects on the object states.
@@ -1125,9 +1172,13 @@ class SimulationEngine:
             + self._undo_log.total_steps()
             + self._parked_count
         )
+        if self._certifier is not None:
+            sample += self._certifier.live_state_size()
         self.metrics.note_live_state(sample, self._in_flight)
         self.scheduler.collect_garbage()
         self._undo_log.collect()
+        if self._certifier is not None:
+            self._certifier.collect_garbage()
 
     def _undo_states(self, top_level_id: str, subtree_ids: set[str]) -> int:
         """Undo the aborted subtree's steps; returns the wasted-step count."""

@@ -225,6 +225,11 @@ class RunResult:
     scheduler_description: dict[str, Any]
     aborted_execution_ids: frozenset[str]
     committed_transaction_ids: tuple[str, ...]
+    #: The :class:`~repro.analysis.certify.CertificationReport` built online
+    #: by the streaming certifier when the engine ran with
+    #: ``certify="stream"``; ``None`` otherwise.  Typed loosely because
+    #: :mod:`repro.analysis.certify` imports this module.
+    streaming_report: Any | None = None
     trace: Trace | None = None
     #: The arrival process configuration of an open-system run
     #: (:meth:`~repro.simulation.arrivals.ArrivalProcess.describe`);

@@ -87,7 +87,10 @@ def build_engine(spec: ScenarioSpec) -> SimulationEngine:
     if spec.modular_strategy_from_workload:
         scheduler_kwargs.setdefault("per_object_strategy", workload.modular_strategy_map())
     scheduler = make_scheduler(spec.scheduler, **scheduler_kwargs)
-    engine = SimulationEngine(object_base, scheduler, seed=spec.seed, **spec.engine_params)
+    engine_params = dict(spec.engine_params)
+    if spec.certify == "stream":
+        engine_params.setdefault("certify", "stream")
+    engine = SimulationEngine(object_base, scheduler, seed=spec.seed, **engine_params)
     # Streaming workloads (any with an arrival_process hook) enter as an
     # open arrival stream; everything else as the classic closed batch.
     arrival_factory = getattr(workload, "arrival_process", None)
@@ -102,7 +105,7 @@ def summarise_run(
     result: RunResult,
     scheduler_name: str,
     *,
-    certify: bool = True,
+    certify: bool | str = True,
     check_legality: bool = False,
 ) -> dict[str, Any]:
     """Flatten a run into the metrics row the experiments report.
@@ -111,7 +114,9 @@ def summarise_run(
         result: the finished run.
         scheduler_name: registry name recorded in the ``scheduler`` column.
         certify: certify the committed projection and record the verdict
-            in a ``serialisable`` column.
+            in a ``serialisable`` column.  ``"stream"`` reads the rolling
+            report the engine's online certifier built during the run
+            instead of re-certifying post-hoc.
         check_legality: also replay-check legality during certification.
 
     Returns:
@@ -147,7 +152,17 @@ def summarise_run(
         "live_state_peak": metrics.live_state_peak,
         "live_state_ratio": metrics.live_state_per_in_flight,
     }
-    if certify:
+    if certify == "stream":
+        report = result.streaming_report
+        if report is None:
+            raise ValueError(
+                "certify='stream' requires the engine to have run with "
+                "certify='stream' (no streaming report on this RunResult)"
+            )
+        row["serialisable"] = report.serialisable
+        if check_legality:
+            row["legal"] = report.legal
+    elif certify:
         report = certify_run(result, check_legality=check_legality)
         row["serialisable"] = report.serialisable
         if check_legality:

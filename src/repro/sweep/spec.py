@@ -136,8 +136,12 @@ class ScenarioSpec:
             generation seeds live in ``workload_params``.
         engine_params: extra :class:`~repro.simulation.engine.SimulationEngine`
             options (see :data:`ENGINE_PARAM_NAMES`).
-        certify: run post-hoc serialisability certification and record the
-            verdict in the row's ``serialisable`` column.
+        certify: run certification and record the verdict in the row's
+            ``serialisable`` column.  ``True`` certifies post-hoc
+            (:func:`~repro.analysis.certify.certify_run`), ``"stream"``
+            runs the engine with the online
+            :class:`~repro.analysis.streaming.StreamingCertifier` and
+            reads the rolling report, ``False`` skips certification.
         check_legality: also replay-check legality during certification
             (slower; off by default, matching the benchmark harness).
         modular_strategy_from_workload: ask the built workload for its
@@ -154,7 +158,7 @@ class ScenarioSpec:
     scheduler_kwargs: dict[str, Any] = field(default_factory=dict)
     seed: int = 0
     engine_params: dict[str, Any] = field(default_factory=dict)
-    certify: bool = True
+    certify: bool | str = True
     check_legality: bool = False
     modular_strategy_from_workload: bool = False
     tags: dict[str, Any] = field(default_factory=dict)
@@ -182,6 +186,10 @@ class ScenarioSpec:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SweepSpecError(f"seed must be an int, got {self.seed!r}")
+        if self.certify not in (True, False, "stream"):
+            raise SweepSpecError(
+                f"certify must be True, False or 'stream', got {self.certify!r}"
+            )
         for mapping_name in ("workload_params", "scheduler_kwargs", "engine_params", "tags"):
             mapping = getattr(self, mapping_name)
             if not isinstance(mapping, Mapping):

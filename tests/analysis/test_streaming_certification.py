@@ -1,0 +1,277 @@
+"""Oracle tests: streaming certification equals post-hoc certification.
+
+The :class:`~repro.analysis.streaming.StreamingCertifier` grows ``SG(h)``
+at commit time and prunes certified, frontier-unreachable transactions as
+the run progresses — so its rolling report is built from a *window*, never
+the whole history.  Its contract is nevertheless bit-for-bit equality
+with post-hoc :func:`~repro.analysis.certify.certify_run` on every
+verdict, counter, the serial order, the cycle witness and the violation
+strings (``sg_edges`` alone is exempt: the streaming graph drops edges
+incident to pruned transactions and reports the retained count).
+
+Three layers of evidence:
+
+* a hypothesis property sweeping scheduler x restart-policy x gate-mode
+  x batch/stream x seed over a genuinely contended workload, with the
+  engine garbage-collecting (and therefore the certifier pruning)
+  mid-stream;
+* a longer deterministic stream asserting the certifier actually pruned
+  (a zero prune count would make the window equivalence vacuous);
+* direct-feed histories with *injected* violations — a conflict cycle
+  whose edges span a GC boundary, and a forged return value replayed
+  away before its transaction is pruned — caught identically by both
+  certifiers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import StreamingCertifier, certify_history, certify_run
+from repro.core import ObjectState, ReadVariable, WriteVariable
+from repro.scheduler import make_scheduler
+from repro.simulation import SimulationEngine
+from repro.simulation.workloads import make_workload
+
+from tests.conftest import fresh_builder
+
+#: Every report field the streaming certifier promises bit-for-bit
+#: (``sg_edges`` is the documented exception — see the module docstring).
+COMPARED_FIELDS = (
+    "legal",
+    "serialisable",
+    "theorem5_holds",
+    "violations",
+    "serial_order",
+    "cycle",
+    "committed_transactions",
+    "committed_executions",
+    "committed_local_steps",
+    "sg_nodes",
+)
+
+#: Schedulers whose factories accept the CommitGate ``gate_mode`` axis.
+GATE_AWARE = {"nto", "nto-step", "certifier", "modular"}
+
+scheduler_names = st.sampled_from(
+    ["n2pl", "n2pl-step", "nto", "nto-step", "single-active", "certifier", "modular"]
+)
+restart_policies = st.sampled_from(["immediate", "backoff", "ordered"])
+gate_modes = st.sampled_from(["cascade", "aca"])
+
+
+def assert_reports_equal(streamed, oracle):
+    for field in COMPARED_FIELDS:
+        assert getattr(streamed, field) == getattr(oracle, field), (
+            f"{field}: streaming {getattr(streamed, field)!r} "
+            f"!= post-hoc {getattr(oracle, field)!r}"
+        )
+
+
+def certified_run(
+    scheduler,
+    *,
+    policy,
+    gate_mode,
+    stream,
+    seed,
+    transactions=14,
+    gc_interval=3,
+):
+    """A contended run with online certification and a tiny GC interval.
+
+    ``gc_interval=3`` forces many mid-run pruning passes, so the
+    equivalence below is exercised against a heavily collected window,
+    not a luckily complete one.
+    """
+    kwargs = {"restart_policy": policy}
+    if scheduler in GATE_AWARE:
+        kwargs["gate_mode"] = gate_mode
+    workload = make_workload(
+        "hotspot",
+        transactions=transactions,
+        hot_objects=2,
+        cold_objects=8,
+        operations_per_transaction=3,
+        hot_probability=0.7,
+        seed=seed,
+    )
+    base, specs = workload.build()
+    engine = SimulationEngine(
+        base,
+        make_scheduler(scheduler, **kwargs),
+        seed=seed,
+        gc_interval=gc_interval,
+        certify="stream",
+    )
+    if stream:
+        engine.submit_stream(specs, {"name": "poisson", "rate": 0.2})
+    else:
+        engine.submit_all(specs)
+    return engine, engine.run()
+
+
+class TestStreamingEqualsPostHoc:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scheduler=scheduler_names,
+        policy=restart_policies,
+        gate_mode=gate_modes,
+        stream=st.booleans(),
+        seed=st.integers(0, 10_000),
+    )
+    def test_rolling_report_equals_certify_run(
+        self, scheduler, policy, gate_mode, stream, seed
+    ):
+        engine, result = certified_run(
+            scheduler, policy=policy, gate_mode=gate_mode, stream=stream, seed=seed
+        )
+        oracle = certify_run(result, check_legality=True)
+        assert_reports_equal(result.streaming_report, oracle)
+
+    def test_long_stream_prunes_and_still_matches(self):
+        engine, result = certified_run(
+            "nto-step",
+            policy="backoff",
+            gate_mode="cascade",
+            stream=True,
+            seed=7,
+            transactions=120,
+        )
+        # The window equivalence is only meaningful if the window was
+        # actually collected mid-stream.
+        assert engine._certifier.gc_pruned > 0
+        oracle = certify_run(result, check_legality=True)
+        assert_reports_equal(result.streaming_report, oracle)
+
+    def test_finalise_is_memoised(self):
+        _, result = certified_run(
+            "n2pl", policy="immediate", gate_mode="cascade", stream=False, seed=3
+        )
+        assert result.streaming_report is result.streaming_report
+
+
+def _write_child(builder, top_id, object_name, value):
+    """One child method on ``object_name`` issuing a single write."""
+    child = builder.invoke(top_id, object_name, "set")
+    builder.local(child, WriteVariable("x", value))
+    builder.finish(child, "ok")
+    return child.execution_id
+
+
+def _feed_commit(certifier, builder, top_id, child_ids):
+    """Snapshot a committed subtree into the certifier, builder-style."""
+    executions = [
+        builder.execution_record(execution_id)
+        for execution_id in (top_id, *child_ids)
+    ]
+    certifier.note_commit(
+        top_id,
+        executions,
+        builder.intervals_for(executions),
+        resolve_stamp=builder.clock,
+    )
+
+
+class TestInjectedViolationsSpanGC:
+    """Hand-built histories whose defects straddle a mid-feed GC pass."""
+
+    OBJECTS = ("A", "B", "C", "F1", "F2", "F3", "F4", "F5")
+
+    def _builder_and_certifier(self):
+        builder = fresh_builder({name: {"x": 0} for name in self.OBJECTS})
+        certifier = StreamingCertifier(
+            builder.conflicts,
+            initial_states={name: ObjectState({"x": 0}) for name in self.OBJECTS},
+        )
+        return builder, certifier
+
+    def _commit_fillers(self, builder, certifier, count=5, forge_on=None):
+        """Commit ``count`` no-conflict transactions (T1..Tcount).
+
+        With ``forge_on`` set, that filler's object records a read whose
+        return value is forged — an injected Definition 6 condition-3
+        violation destined to be replayed (and its transaction pruned)
+        at the next GC pass.
+        """
+        for index in range(1, count + 1):
+            top = builder.begin_top_level().execution_id
+            certifier.note_begin(top, builder.clock)
+            object_name = f"F{index}"
+            child = builder.invoke(top, object_name, "probe")
+            if object_name == forge_on:
+                builder.local(child, ReadVariable("x"), return_value=999)
+            else:
+                builder.local(child, WriteVariable("x", index))
+            builder.finish(child, "ok")
+            _feed_commit(certifier, builder, top, [child.execution_id])
+
+    def test_conflict_cycle_spanning_a_gc_boundary(self):
+        builder, certifier = self._builder_and_certifier()
+        self._commit_fillers(builder, certifier)
+
+        # T6 begins, writes A, and stays unresolved: it pins the frontier
+        # through the GC pass while the cycle is still half-built.
+        t6 = builder.begin_top_level().execution_id
+        certifier.note_begin(t6, builder.clock)
+        t6_a = _write_child(builder, t6, "A", 60)
+
+        # T7 writes A (after T6's write -> edge T6 -> T7) and B; commits.
+        t7 = builder.begin_top_level().execution_id
+        certifier.note_begin(t7, builder.clock)
+        t7_children = [
+            _write_child(builder, t7, "A", 70),
+            _write_child(builder, t7, "B", 70),
+        ]
+        _feed_commit(certifier, builder, t7, t7_children)
+
+        # The GC boundary: the settled fillers are emitted and pruned,
+        # while T6 (live) and T7 (in T6's frontier) are retained.
+        pruned = certifier.collect_garbage()
+        assert pruned > 0, "fillers should be pruned mid-cycle"
+        assert certifier.gc_pruned == pruned
+
+        # T8 writes B (edge T7 -> T8) and C; commits after the boundary.
+        t8 = builder.begin_top_level().execution_id
+        certifier.note_begin(t8, builder.clock)
+        t8_children = [
+            _write_child(builder, t8, "B", 80),
+            _write_child(builder, t8, "C", 80),
+        ]
+        _feed_commit(certifier, builder, t8, t8_children)
+
+        # T6 finally writes C (after T8's -> edge T8 -> T6) and commits,
+        # closing the cycle T6 -> T7 -> T8 -> T6 with edges installed on
+        # both sides of the GC pass.
+        t6_c = _write_child(builder, t6, "C", 61)
+        _feed_commit(certifier, builder, t6, [t6_a, t6_c])
+
+        streamed = certifier.finalise()
+        oracle = certify_history(builder.build(), check_legality=True)
+        assert streamed.serialisable is False
+        assert oracle.serialisable is False
+        assert streamed.cycle is not None
+        assert {"T6", "T7", "T8"} <= set(streamed.cycle)
+        assert_reports_equal(streamed, oracle)
+
+    def test_forged_return_value_replayed_before_pruning(self):
+        builder, certifier = self._builder_and_certifier()
+        self._commit_fillers(builder, certifier, count=3, forge_on="F2")
+
+        # A later transaction pins the settle threshold past the fillers,
+        # so the GC pass replays (and catches) the forged read before
+        # pruning the transaction that issued it.
+        t4 = builder.begin_top_level().execution_id
+        certifier.note_begin(t4, builder.clock)
+        pruned = certifier.collect_garbage()
+        assert pruned > 0, "the forged filler should be pruned after replay"
+        t4_a = _write_child(builder, t4, "A", 40)
+        _feed_commit(certifier, builder, t4, [t4_a])
+
+        streamed = certifier.finalise()
+        oracle = certify_history(builder.build(), check_legality=True)
+        assert streamed.legal is False
+        assert oracle.legal is False
+        assert streamed.violations == oracle.violations
+        assert any("F2" in violation for violation in streamed.violations)
+        assert_reports_equal(streamed, oracle)

@@ -8,9 +8,17 @@ bit-identical to the rows recorded before the rewrite.  Wall-clock
 columns are not part of the comparison (that is ``compare_bench``'s
 noise-floored job).
 
-The comparison targets the *latest* recorded sweep per experiment: the
-trajectory files append one sweep per regeneration, and it is the most
-recent one the current code claims to reproduce.
+Two E15 comparisons run since certification went online (this PR):
+
+* against the *latest* recorded sweep — full-column bit-identity,
+  including the ``serialisable`` verdict the streaming certifier now
+  stamps on every row;
+* against the *first* recorded sweep — the pre-streaming baseline —
+  over every column except the ones this PR legitimately changed
+  (``serialisable`` did not exist, and the live-state gauge now counts
+  the certifier's retained window).  Everything else matching
+  bit-for-bit is the cross-PR proof that ``certify="stream"`` is a pure
+  observer: it never steers the engine it watches.
 """
 
 from __future__ import annotations
@@ -22,14 +30,19 @@ import pytest
 from benchmarks import bench_e14_restart_policies as e14
 from benchmarks import bench_e15_open_system as e15
 
+#: E15 columns whose values this PR changed on purpose: ``serialisable``
+#: is new, and the live-state gauge now includes the streaming
+#: certifier's retained window.
+E15_STREAMING_COLUMNS = ("serialisable", "live_state_peak", "live_state_ratio")
 
-def latest_recorded_sweep(path, count):
+
+def recorded_sweep(path, count, *, latest=True):
     if not path.exists():
         pytest.skip(f"no recorded trajectory at {path}")
     rows = json.loads(path.read_text()).get("rows", [])
     if len(rows) < count:
         pytest.skip(f"{path.name} holds {len(rows)} rows; need {count}")
-    return rows[-count:]
+    return rows[-count:] if latest else rows[:count]
 
 
 def assert_rows_match(fresh_rows, recorded_rows, columns, label_fields):
@@ -47,17 +60,41 @@ def assert_rows_match(fresh_rows, recorded_rows, columns, label_fields):
         )
 
 
+@pytest.fixture(scope="module")
+def e15_fresh_rows():
+    if e15.ARRIVALS != e15.DEFAULT_ARRIVALS:
+        pytest.skip("REPRO_E15_ARRIVALS overrides the recorded scenario size")
+    return e15.run_experiment()
+
+
 class TestCommittedSweepsReproduce:
     def test_e14_restart_policy_rows_are_bit_identical(self):
         fresh = e14.run_experiment()
-        recorded = latest_recorded_sweep(e14.BENCH_JSON, len(fresh))
+        recorded = recorded_sweep(e14.BENCH_JSON, len(fresh))
         # Every E14 column is a pure function of the scenario spec: counts,
         # tick-derived ratios and certification verdicts.
         assert_rows_match(fresh, recorded, e14.COLUMNS, ("policy",))
 
-    def test_e15_open_system_rows_are_bit_identical(self):
-        if e15.ARRIVALS != e15.DEFAULT_ARRIVALS:
-            pytest.skip("REPRO_E15_ARRIVALS overrides the recorded scenario size")
-        fresh = e15.run_experiment()
-        recorded = latest_recorded_sweep(e15.BENCH_JSON, len(fresh))
-        assert_rows_match(fresh, recorded, e15.COLUMNS, ("scheduler", "arrival"))
+    def test_e15_open_system_rows_are_bit_identical(self, e15_fresh_rows):
+        recorded = recorded_sweep(e15.BENCH_JSON, len(e15_fresh_rows))
+        assert_rows_match(
+            e15_fresh_rows, recorded, e15.COLUMNS, ("scheduler", "arrival")
+        )
+
+    def test_e15_streaming_certifier_never_steered_the_engine(self, e15_fresh_rows):
+        """Certified rows equal the pre-streaming baseline sweep.
+
+        The first recorded E15 sweep ran with ``certify=False`` (before
+        the streaming certifier existed).  Apart from the columns the
+        certifier *adds* (:data:`E15_STREAMING_COLUMNS`), today's
+        ``certify="stream"`` rows must reproduce it bit-for-bit.
+        """
+        recorded = recorded_sweep(
+            e15.BENCH_JSON, len(e15_fresh_rows), latest=False
+        )
+        columns = [
+            column for column in e15.COLUMNS if column not in E15_STREAMING_COLUMNS
+        ]
+        assert_rows_match(
+            e15_fresh_rows, recorded, columns, ("scheduler", "arrival")
+        )

@@ -251,6 +251,54 @@ class TestLiveStateGauge:
             f"({peaks[16]} vs {peaks[10 ** 9]} without collection)"
         )
 
+    @pytest.mark.parametrize("scheduler_name", ["nto-step", "certifier"])
+    def test_streaming_certifier_window_is_collected(self, scheduler_name):
+        # The discriminating experiment for the *certifier's* retained
+        # window: the identical certified stream with collection disabled
+        # accumulates O(arrivals) state (every committed subtree's steps,
+        # graph nodes and replay entries stay forever), while the
+        # GC-enabled run stays within the O(in-flight + gc_interval)
+        # retention window.
+        peaks = {}
+        for gc_interval in (16, 10**9):
+            engine, specs, arrival = build_stream_engine(
+                scheduler_name,
+                transactions=480,
+                rate=0.04,
+                hot_probability=0.05,
+                scheduler_kwargs={"restart_policy": "backoff"},
+                gc_interval=gc_interval,
+                certify="stream",
+            )
+            result = engine.run_stream(specs, arrival)
+            report = result.streaming_report
+            assert report.serialisable is True
+            assert report.legal is True
+            assert report.committed_transactions == 480
+            peaks[gc_interval] = (
+                result.metrics.live_state_peak,
+                result.metrics.in_flight_peak,
+            )
+        bounded_peak, in_flight = peaks[16]
+        unbounded_peak, _ = peaks[10**9]
+        assert bounded_peak * 4 < unbounded_peak, (
+            f"{scheduler_name}: certifier GC made no difference to the gauge "
+            f"({bounded_peak} vs {unbounded_peak} without collection)"
+        )
+        # Same bound shape as E15/E17: the certifier's window adds a
+        # constant factor over the retention window, never O(arrivals).
+        assert bounded_peak <= 64 * (max(1, in_flight) + 16), (
+            f"{scheduler_name}: certified live-state peak {bounded_peak} "
+            f"exceeds the retention-window bound (in-flight {in_flight})"
+        )
+
+    def test_invalid_certify_mode_rejected_eagerly(self):
+        workload = make_workload("hotspot", transactions=2)
+        base, _ = workload.build()
+        for bad in ("bogus", True, 1):
+            with pytest.raises(SimulationError, match="certify"):
+                SimulationEngine(base, make_scheduler("n2pl"), certify=bad)
+
     def test_gauge_counts_scheduler_and_undo_state(self):
         engine, specs, arrival = build_stream_engine(
             "certifier",

@@ -144,3 +144,57 @@ class TestStreamingDeterminism:
             ):
                 assert column in row, f"missing {column}"
             assert row["mean_latency"] > 0
+
+
+class TestStreamCertifySweep:
+    """``certify="stream"`` through the sweep layer: online verdicts in rows."""
+
+    def make_stream_certify_sweep(self):
+        return SweepSpec(
+            name="stream-certify",
+            base=streaming_base(certify="stream"),
+            axes=(Axis("scheduler", ("n2pl", "nto-step", "certifier")),),
+        )
+
+    @pytest.mark.parametrize("bad", ["streaming", "post-hoc", "", 2, None])
+    def test_invalid_certify_values_rejected_eagerly(self, bad):
+        with pytest.raises(SweepSpecError, match="certify"):
+            streaming_base(certify=bad)
+
+    def test_stream_certify_spec_round_trips(self):
+        spec = streaming_base(certify="stream")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_stream_certify_serial_equals_spawn_parallel(self):
+        # The certifier's verdict is part of the row, so the spawn-pool
+        # fan-out must reproduce it (and every other column) bit-for-bit;
+        # the streaming certifier being a pure observer, the decision
+        # columns also equal a certify=False run of the same spec (only
+        # the verdict itself and the live-state gauge — which counts the
+        # certifier's retained window by design — may differ).
+        sweep = self.make_stream_certify_sweep()
+        serial = SweepRunner(sweep).run_rows()
+        parallel = SweepRunner(sweep, workers=2, mp_context="spawn").run_rows()
+        assert serial == parallel
+        for row in serial:
+            assert row["serialisable"] is True
+        plain = SweepRunner(
+            SweepSpec(
+                name="stream-plain",
+                base=streaming_base(certify=False),
+                axes=(Axis("scheduler", ("n2pl", "nto-step", "certifier")),),
+            )
+        ).run_rows()
+        certifier_columns = ("serialisable", "live_state_peak", "live_state_ratio")
+        for certified, uncertified in zip(serial, plain):
+            observed = {
+                column: value
+                for column, value in certified.items()
+                if column not in certifier_columns
+            }
+            expected = {
+                column: value
+                for column, value in uncertified.items()
+                if column not in certifier_columns
+            }
+            assert observed == expected
