@@ -23,9 +23,14 @@ the arrival rate λ towards the engine's service capacity:
   pass) must stay within a constant multiple of the in-flight peak —
   O(in-flight), *not* O(total arrivals) — which is asserted on every
   row;
-* three scheduler configurations run the identical stream: ``n2pl``,
-  ``nto-step`` and the optimistic ``certifier`` (all with ``backoff``
-  restarts; immediate restarts thrash at these concurrencies, see E14).
+* four scheduler configurations run the identical stream: ``n2pl``,
+  ``nto-step``, the optimistic ``certifier`` and the ``modular``
+  intra-/inter-object split (all with ``backoff`` restarts; immediate
+  restarts thrash at these concurrencies, see E14).  ``modular`` joined
+  the grid once its coordinator records and timestamp synchronisers
+  became garbage-collected (ROADMAP item 5) — before that its retained
+  state grew with the arrival count and the bounded-memory assertion
+  could not hold.
 
 Rows are a pure function of the spec (the arrival schedule is seeded),
 so ``commit_rate`` and ``throughput`` are machine-independent and
@@ -144,6 +149,16 @@ SCHEDULER_POINTS = (
             "scheduler_kwargs.restart_policy": "backoff",
         },
     ),
+    # Admitted once ROADMAP item 5 landed: the coordinator's frontier GC
+    # and the timestamp synchronisers' watermarks bound its retained state,
+    # so the long-horizon grid's live-state assertion holds for it too.
+    AxisPoint(
+        "modular",
+        {
+            "scheduler": "modular",
+            "scheduler_kwargs.restart_policy": "backoff",
+        },
+    ),
 )
 
 
@@ -228,7 +243,7 @@ def test_e15_open_system(benchmark):
         )
     # The latency knee: every scheduler's near-capacity poisson point is
     # strictly slower than its lightest one.
-    for scheduler in ("n2pl", "nto-step", "certifier"):
+    for scheduler in ("n2pl", "nto-step", "certifier", "modular"):
         by_arrival = {
             row["arrival"]: row for row in rows if row["scheduler"] == scheduler
         }

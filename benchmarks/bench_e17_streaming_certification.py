@@ -112,9 +112,9 @@ def _build_engine(scheduler: str, arrivals: int, certify):
         seed=SEED,
         gc_interval=GC_INTERVAL,
         # At rate 0.045 the last of 100,000 arrivals lands around tick
-        # 2.2M — past the engine's default cap, which would silently
-        # truncate the stream (caught by the committed == arrivals
-        # assertion below).  Scale the cap with the requested size.
+        # 2.2M — past the engine's default cap, which would refuse the
+        # run (undelivered arrivals at max_ticks raise SimulationError).
+        # Scale the cap with the requested size.
         max_ticks=max(2_000_000, int(arrivals / STREAM_RATE) + 500_000),
         certify=certify,
     )

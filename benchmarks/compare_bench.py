@@ -30,6 +30,11 @@ Watched files:
   ``certify_relative_throughput`` (plain wall clock over certified wall
   clock, an in-run ratio): the streaming certifier's O(new-work)
   overhead drifting back towards post-hoc cost shows up here.
+* ``BENCH_e18_sharding.json`` — each shard count's ``mu_ratio_vs_one``
+  (measured μ over the same mode's 1-shard μ, an in-run wall ratio)
+  plus ``commit_rate`` as the deterministic canary: the sharded engine's
+  parallel headroom eroding — or a coordinator change that thrashes
+  more — shows up here.
 """
 
 from __future__ import annotations
@@ -108,6 +113,19 @@ WATCHES = (
         # Both walls come from the same in-process run pair, but a plain
         # run quicker than the floor makes the ratio scheduling jitter.
         noise_floor=("wall_seconds_plain", 0.25),
+    ),
+    Watch(
+        name="E18",
+        path=BENCH_DIR / "BENCH_e18_sharding.json",
+        key_fields=("case", "mode", "scheduler", "shards"),
+        # ``mu_ratio_vs_one`` is each shard count's measured μ over the
+        # same mode's 1-shard μ — an in-run wall ratio, so it needs the
+        # noise floor; ``commit_rate`` rides along as the deterministic
+        # canary (a coordinator change that thrashes more degrades it
+        # identically on every machine).  The cross rows carry no μ ratio
+        # (``None`` skips comparison) but their commit_rate still gates.
+        columns=("mu_ratio_vs_one", "commit_rate"),
+        noise_floor=("wall_seconds", 0.25),
     ),
 )
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import networkx as nx
 
@@ -84,6 +84,21 @@ class IntraObjectSynchroniser:
 
     def on_transaction_finished(self, transaction_id: str) -> None:
         """The top-level transaction committed or aborted."""
+
+    def collect_garbage(self) -> int:
+        """Prune records no live or future transaction's decision can read.
+
+        Called on the engine's garbage-collection cadence via
+        :meth:`ModularScheduler.collect_garbage`.  Must be
+        decision-invariant: a strategy may only drop state whose presence
+        cannot change the outcome of any future :meth:`on_operation`.
+        Lock-style strategies release at transaction end and keep nothing
+        collectable.
+
+        Returns:
+            The number of pruned items (0 by default).
+        """
+        return 0
 
     def live_state_size(self) -> int:
         """Retained per-transaction items, for the engine's live-state gauge.
@@ -193,6 +208,26 @@ class IntraObjectTimestampOrdering(IntraObjectSynchroniser):
     def on_transaction_finished(self, transaction_id: str) -> None:
         self._timestamps.pop(transaction_id, None)
 
+    def collect_garbage(self) -> int:
+        """Watermark pruning: drop records below every live timestamp.
+
+        ``_timestamps`` holds exactly the unresolved transactions that
+        touched this object, and any transaction yet to touch it will draw
+        a fresh (strictly larger) timestamp — so a record stamped below
+        ``min(live timestamps)`` can never again satisfy the abort
+        condition ``recorded_timestamp > requester_timestamp`` and is dead
+        weight (the NTO watermark argument, object-locally).
+        """
+        before = len(self._records)
+        watermark = min(self._timestamps.values(), default=None)
+        if watermark is None:
+            self._records.clear()
+        else:
+            self._records[:] = [
+                record for record in self._records if record[1] >= watermark
+            ]
+        return before - len(self._records)
+
     def live_state_size(self) -> int:
         return len(self._records) + len(self._timestamps)
 
@@ -223,6 +258,39 @@ INTRA_STRATEGIES: dict[str, Callable[..., IntraObjectSynchroniser]] = {
 # ---------------------------------------------------------------------------
 
 
+def prune_unreachable(graph: "nx.DiGraph", live: Iterable[str]) -> tuple[int, set[str]]:
+    """Frontier GC for a precedence graph: drop nodes no live node reaches.
+
+    Precedence edges always point *recorded transaction → requester*, and a
+    resolved transaction's in-edges are frozen (edges into a node are only
+    added while it is live and requesting).  A future cycle must therefore
+    enter every resolved node it contains through an edge that already
+    exists — so a resolved node matters to some future acyclicity check
+    only if it is forward-reachable from a currently-live node.  Everything
+    else (and, at the caller's side, its recorded steps, which are the only
+    source of *new* out-edges) can be dropped without changing any future
+    decision.  This is the same frontier argument the streaming certifier's
+    GC uses, shared here so the inter-shard coordinator can reuse it.
+
+    Args:
+        graph: the precedence DiGraph, mutated in place.
+        live: identifiers of the unresolved transactions.
+
+    Returns:
+        ``(removed, keep)`` — how many nodes were dropped, and the node ids
+        retained (live nodes plus their descendants), which the caller uses
+        to prune its step records consistently.
+    """
+    keep: set[str] = set()
+    for node in live:
+        if node in graph and node not in keep:
+            keep.add(node)
+            keep.update(nx.descendants(graph, node))
+    dead = [node for node in graph if node not in keep]
+    graph.remove_nodes_from(dead)
+    return len(dead), keep
+
+
 @dataclass
 class _RecordedStep:
     """A granted step remembered for inter-object ordering checks."""
@@ -246,6 +314,7 @@ class InterObjectCoordinator:
         self._step_level = step_level
         self._steps_by_object: dict[str, list[_RecordedStep]] = defaultdict(list)
         self._precedence = nx.DiGraph()
+        self._live: set[str] = set()
         self.ordering_aborts = 0
 
     def _conflict(self, object_name: str, earlier: LocalStep, later: LocalStep) -> bool:
@@ -284,8 +353,38 @@ class InterObjectCoordinator:
         )
         self._steps_by_object[request.object_name].append(_RecordedStep(step, request.info))
 
+    def note_begin(self, transaction_id: str) -> None:
+        """A top-level transaction became live (tracked for the frontier GC)."""
+        self._live.add(transaction_id)
+
+    def note_finished(self, transaction_id: str) -> None:
+        """The transaction resolved; its node stays until the GC frontier passes it."""
+        self._live.discard(transaction_id)
+
+    def collect_garbage(self) -> int:
+        """Frontier GC over the precedence graph and the recorded steps.
+
+        Resolved transactions that no live transaction can reach in the
+        precedence graph can never participate in a future cycle (see
+        :func:`prune_unreachable`), so their nodes, edges and recorded
+        steps — the only source of new edges out of them — are dropped
+        together.  Decision-invariant by construction: only the memory
+        profile changes, never an abort verdict.
+        """
+        removed, keep = prune_unreachable(self._precedence, self._live)
+        keep |= self._live
+        for object_name in list(self._steps_by_object):
+            records = self._steps_by_object[object_name]
+            kept = [record for record in records if record.info.top_level_id in keep]
+            removed += len(records) - len(kept)
+            if kept:
+                records[:] = kept
+            else:
+                del self._steps_by_object[object_name]
+        return removed
+
     def live_state_size(self) -> int:
-        """Recorded steps plus precedence nodes/edges (retained all run)."""
+        """Recorded steps plus precedence nodes/edges still retained."""
         return (
             sum(len(records) for records in self._steps_by_object.values())
             + self._precedence.number_of_nodes()
@@ -337,6 +436,7 @@ class ModularScheduler(Scheduler):
         self.gate = self._make_gate()
         self.deadlocks_detected = 0
         self.blocked_requests = 0
+        self.gc_pruned_records = 0
 
     def _make_gate(self) -> CommitGate:
         # Intra-object synchronisers are free to execute against uncommitted
@@ -376,6 +476,7 @@ class ModularScheduler(Scheduler):
         self.gate = self._make_gate()
         self.deadlocks_detected = 0
         self.blocked_requests = 0
+        self.gc_pruned_records = 0
 
     def synchroniser_for(self, object_name: str) -> IntraObjectSynchroniser:
         if object_name not in self._synchronisers:
@@ -388,6 +489,8 @@ class ModularScheduler(Scheduler):
     # -- scheduling --------------------------------------------------------------
 
     def on_transaction_begin(self, info: ExecutionInfo) -> None:
+        if self._coordinator is not None:
+            self._coordinator.note_begin(info.top_level_id)
         if self.inter_object_checks:
             self.gate.begin(info.top_level_id)
 
@@ -454,6 +557,8 @@ class ModularScheduler(Scheduler):
     def _finish_transaction(self, info: ExecutionInfo, *, committed: bool) -> None:
         for synchroniser in self._synchronisers.values():
             synchroniser.on_transaction_finished(info.top_level_id)
+        if self._coordinator is not None:
+            self._coordinator.note_finished(info.top_level_id)
         self.waits.remove_transaction(info.top_level_id)
         # Intra-object locks (held to transaction end) are now gone and any
         # read-from dependencies on this transaction are resolved.
@@ -470,15 +575,34 @@ class ModularScheduler(Scheduler):
 
     # -- live-state garbage collection ---------------------------------------------
 
+    def collect_garbage(self) -> int:
+        """Prune both halves of the split on the engine's GC cadence.
+
+        The coordinator drops resolved transactions unreachable from the
+        live frontier of its precedence graph (with their recorded steps),
+        and each timestamp synchroniser drops records below its live
+        watermark — so a long stream retains state proportional to the
+        in-flight population, not to the total arrival count (ROADMAP
+        item 5).  Both prunes are decision-invariant.
+        """
+        removed = sum(
+            synchroniser.collect_garbage()
+            for synchroniser in self._synchronisers.values()
+        )
+        if self._coordinator is not None:
+            removed += self._coordinator.collect_garbage()
+        self.gc_pruned_records += removed
+        return removed
+
     def live_state_size(self) -> int:
         """Retained items across both halves of the modular split.
 
         Intra-object locks are released at transaction end and the gate
         prunes itself; the inter-object coordinator's recorded steps and
-        the per-object timestamp synchronisers' records, however, are
-        retained for the whole run (see the known-limitations note in
-        ``DESIGN.md``) — the honest gauge makes that growth visible
-        rather than hiding it.
+        precedence nodes and the per-object timestamp synchronisers'
+        records persist until a garbage-collection pass proves them
+        unreachable from the live frontier — the gauge reports whatever
+        is retained *now*, so unbounded growth would still be visible.
         """
         size = self.gate.live_state_size() if self.inter_object_checks else 0
         size += sum(
@@ -506,5 +630,6 @@ class ModularScheduler(Scheduler):
             "ordering_aborts": ordering_aborts,
             "deadlocks_detected": self.deadlocks_detected,
             "blocked_requests": self.blocked_requests,
+            "gc_pruned_records": self.gc_pruned_records,
             **self.gate.describe(),
         }

@@ -113,6 +113,12 @@ class CommitGate:
         self._aborted: set[str] = set()
         self._dependencies: dict[str, set[str]] = {}
         self._waits = WaitsForGraph()
+        # Transactions currently inside a blocked commit spell.  The
+        # inter-shard coordinator polls check_commit every vote round, so
+        # the counter tracks *spells*, not calls — otherwise commit_waits
+        # would scale with the barrier frequency and a sharded run's
+        # scheduler description would depend on round_ticks.
+        self._commit_waiters: set[str] = set()
         self.cascading_aborts = 0
         self.commit_waits = 0
         self.blocked_reads = 0
@@ -134,6 +140,7 @@ class CommitGate:
                 if not records:
                     del self._steps_by_object[object_name]
         self._dependencies.pop(transaction_id, None)
+        self._commit_waiters.discard(transaction_id)
         self._waits.remove_transaction(transaction_id)
         if self._aborted:
             # An aborted marker only matters while some live dependent might
@@ -257,6 +264,7 @@ class CommitGate:
         dirty = dependencies & self._aborted
         if dirty:
             self.cascading_aborts += 1
+            self._commit_waiters.discard(transaction_id)
             self._waits.unpark(transaction_id)
             return SchedulerResponse.abort(
                 f"cascading abort: observed state written by aborted transaction(s) "
@@ -267,16 +275,20 @@ class CommitGate:
             self._waits.park(transaction_id, transaction_id, waiting)
             cycle = self._waits.find_cycle_from(transaction_id)
             if cycle is not None:
+                self._commit_waiters.discard(transaction_id)
                 self._waits.unpark(transaction_id)
                 return SchedulerResponse.abort(
                     f"validation failed: commit dependency cycle among "
                     f"{sorted(set(cycle))}"
                 )
-            self.commit_waits += 1
+            if transaction_id not in self._commit_waiters:
+                self._commit_waiters.add(transaction_id)
+                self.commit_waits += 1
             return SchedulerResponse.block(
                 "waiting for commit of transactions whose effects were observed",
                 blockers=waiting,
             )
+        self._commit_waiters.discard(transaction_id)
         self._waits.unpark(transaction_id)
         return SchedulerResponse.grant()
 

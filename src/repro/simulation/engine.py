@@ -164,6 +164,10 @@ class _Frame:
     #: Whether ``generator`` is an actual generator (vs a plain return
     #: value) — detected once at creation, not re-probed per advance.
     is_generator: bool = False
+    #: Set on children spawned on behalf of a *remote* shard: the message
+    #: identifier whose result travels back to the requesting shard when
+    #: this frame completes.  ``None`` on every frame of a plain run.
+    shard_remote_id: str | None = None
 
     @property
     def execution_id(self) -> str:
@@ -178,6 +182,54 @@ class _StepLogEntry:
     top_level_id: str
     object_name: str
     operation: LocalOperation
+
+
+def _proxy_session_marker():  # pragma: no cover - never advanced
+    """Placeholder body for remote-session roots (driven imperatively)."""
+
+
+@dataclass(slots=True)
+class _ShardRuntime:
+    """Per-shard execution state when the engine runs as one shard of many.
+
+    Bound by :meth:`SimulationEngine.bind_shard_runtime`; ``None`` on plain
+    engines, so every shard-mode check on the hot paths is a single
+    attribute test.  The shard driver (:mod:`repro.shard`) owns the message
+    transport; the engine only fills ``outbox``/``notes`` and consumes
+    directives between tick rounds.
+    """
+
+    index: int
+    count: int
+    #: ``owns(object_name) -> bool`` — does this shard hold the object?
+    owns: Any
+    #: ``classify(spec) -> bool`` — does the spec touch foreign objects?
+    #: (Advisory: a missed classification is repaired at the first actual
+    #: remote invoke; see :meth:`SimulationEngine._send_remote_invoke`.)
+    classify: Any
+    #: Optional conflict observer fed every executed step of cross-shard
+    #: transactions (``note_step(info, step)``), for the inter-shard
+    #: coordinator's precedence graph.
+    tracker: Any = None
+    #: Execution-id namespace (``"s<i>:"``); empty at ``count == 1`` so a
+    #: single-shard run is bit-identical to the plain engine.
+    id_prefix: str = ""
+    txn_counter: Any = None
+    remote_counter: Any = None
+    #: Home-side: top-level ids known (or discovered) to be cross-shard.
+    cross: set[str] = field(default_factory=set)
+    #: Home-side: prepared root frames awaiting the global commit decision.
+    held: dict[str, "_Frame"] = field(default_factory=dict)
+    #: Owner-side: one *session* root per foreign transaction, carrying the
+    #: foreign top-level id as its own execution id so the local scheduler
+    #: sees a perfectly ordinary nested transaction.
+    sessions: dict[str, "_Frame"] = field(default_factory=dict)
+    #: remote message id -> local frame waiting on its result.
+    waiters: dict[str, str] = field(default_factory=dict)
+    #: Outgoing messages for the coordinator, drained at the tick barrier.
+    outbox: list[tuple] = field(default_factory=list)
+    #: Outgoing lifecycle notes (prepared / aborted / vote results).
+    notes: list[tuple] = field(default_factory=list)
 
 
 class SimulationEngine:
@@ -206,7 +258,9 @@ class SimulationEngine:
             its transaction is aborted for starvation.
         max_ticks: hard cap on scheduling decisions (truncates runaway
             runs; parked waiters are accounted before the result is
-            built).
+            built).  A run cut off with streamed arrivals still queued
+            raises :class:`SimulationError` instead of silently dropping
+            the tail of the stream — raise the cap to fit the schedule.
         record_trace: record a :class:`~repro.simulation.events.Trace` of
             every event (costs memory; off by default).
         conflict_level_for_history: granularity of the conflict relation
@@ -341,6 +395,9 @@ class SimulationEngine:
         self.metrics = RunMetrics()
         self._tick = 0
         self._finished = False
+        # Sharded execution state; None on plain engines (the hot paths
+        # test this single attribute).  Bound via bind_shard_runtime.
+        self._shard: _ShardRuntime | None = None
 
         self.scheduler.attach(object_base)
         # The scheduler transports the restart policy as configuration; the
@@ -425,6 +482,29 @@ class SimulationEngine:
                 self._events, (due, _EVENT_ARRIVAL, next(self._arrival_sequence), spec)
             )
 
+    def submit_scheduled(self, pairs) -> None:
+        """Queue ``(arrival_tick, spec)`` pairs with pre-computed due ticks.
+
+        The sharded driver computes one global arrival schedule and splits
+        it by home shard; each shard's engine receives its slice with the
+        *absolute* ticks, so the merged run observes the same schedule the
+        plain engine would have drawn.  Ticks must be non-decreasing in
+        ``pairs`` order (the order the shared schedule was drawn in).
+
+        Raises:
+            SimulationError: when the engine already ran, or a spec names
+                an unknown transaction method.
+        """
+        if self._finished:
+            raise SimulationError("engine instances are single-use; create a new one")
+        for due, spec in pairs:
+            self.object_base.environment.method(spec.method_name)  # validate early
+            if due > self._last_arrival_tick:
+                self._last_arrival_tick = due
+            heapq.heappush(
+                self._events, (due, _EVENT_ARRIVAL, next(self._arrival_sequence), spec)
+            )
+
     def run_stream(
         self, specs, arrival: "ArrivalProcess | str | dict" = "poisson"
     ) -> RunResult:
@@ -458,7 +538,12 @@ class SimulationEngine:
             self._run_scan_loop()
         else:
             self._run_event_loop()
+        return self._finalise_run()
+
+    def _finalise_run(self) -> RunResult:
+        """Close the run and build its result (shared with shard finalize)."""
         self.metrics.total_ticks = self._tick
+        self._check_arrival_truncation()
 
         # A run cut off at max_ticks may leave frames parked; account their
         # wait so the contention metrics do not understate truncated runs.
@@ -583,6 +668,449 @@ class SimulationEngine:
                 self.metrics.submitted += 1
                 self.metrics.arrived += 1
                 self._admit(payload, arrival_tick=due)
+
+    # ------------------------------------------------------------------
+    # sharded execution (driven by repro.shard)
+    # ------------------------------------------------------------------
+    #
+    # A sharded run partitions the object space across engines, one full
+    # engine (+ scheduler) per shard.  Shards advance in lock-step *tick
+    # rounds*: each round the driver applies the coordinator's directives
+    # (remote admissions, results, votes, global commit/abort decisions),
+    # runs the event loop up to a common horizon, then drains the shard's
+    # outbox/notes for the coordinator.  All cross-shard interaction
+    # happens at these barriers, so a sharded run is a pure function of
+    # (spec, shard map, seed) regardless of transport — in-process and
+    # multiprocess execution are bit-identical.
+    #
+    # Cross-shard transactions follow the paper's modular recipe one level
+    # up: on its home shard the transaction runs normally until commit,
+    # which is *held* for a two-phase decision; on every other shard its
+    # remote invokes run under a local *session* root that carries the
+    # foreign top-level id, so the owner's scheduler synchronises it like
+    # any ordinary nested transaction (locks, timestamps and commit gates
+    # all key by that id), and the session's locks are retained until the
+    # coordinator's global decision.
+
+    def bind_shard_runtime(
+        self,
+        *,
+        index: int,
+        count: int,
+        owns,
+        classify,
+        tracker=None,
+    ) -> None:
+        """Run this engine as shard ``index`` of ``count``.
+
+        Must be called before any work ran.  ``owns(object_name)`` says
+        whether this shard holds the object; ``classify(spec)`` whether a
+        submitted transaction may touch foreign objects (advisory — a
+        missed classification is repaired at the first actual remote
+        invoke); ``tracker`` optionally observes every executed step of
+        cross-shard transactions for the coordinator's precedence graph.
+
+        Raises:
+            SimulationError: when the engine already ran, uses the scan
+                loop, or certifies online (per-shard certification happens
+                post-hoc in the shard worker instead).
+        """
+        if self._finished or self._tick or self._frames:
+            raise SimulationError("bind_shard_runtime must precede the run")
+        if self.hot_loop != EVENT_LOOP:
+            raise SimulationError("sharded execution requires hot_loop='event'")
+        if self._certifier is not None:
+            raise SimulationError(
+                "sharded engines cannot certify online; certify each shard's "
+                "RunResult post-hoc in the shard worker instead"
+            )
+        self._shard = _ShardRuntime(
+            index=index,
+            count=count,
+            owns=owns,
+            classify=classify,
+            tracker=tracker,
+            id_prefix=f"s{index}:" if count > 1 else "",
+            txn_counter=itertools.count(1),
+            remote_counter=itertools.count(1),
+        )
+
+    def begin_shard_run(self) -> None:
+        """Admit the pending closed-batch submissions (mirrors :meth:`run`)."""
+        if self._finished:
+            raise SimulationError("engine instances are single-use; create a new one")
+        for spec in self._pending_specs:
+            self._admit(spec)
+        self._pending_specs = []
+
+    def run_shard_round(self, horizon: int) -> int:
+        """Advance the event loop until ``horizon`` (or a cross-shard stall).
+
+        The body mirrors :meth:`_run_event_loop` with the tick budget
+        clamped to the round horizon, plus one extra stall rule: when
+        nothing is runnable, no event is pending and the shard is waiting
+        on cross-shard state (remote results, held commits, open
+        sessions), the round ends — resolution arrives as directives at a
+        later barrier.  Idle gaps within the round fast-forward exactly as
+        in a plain run, so a single-shard round sequence reproduces the
+        plain engine's clock bit for bit.
+
+        Returns:
+            The number of scheduling decisions made this round.
+        """
+        shard = self._shard
+        frames = self._frames
+        events = self._events
+        ready = self._ready
+        metrics = self.metrics
+        heappop = heapq.heappop
+        rng_choice = self.rng.choice
+        random_scheduling = self.scheduling == "random"
+        horizon = min(horizon, self.max_ticks)
+        decisions = 0
+        try:
+            while (frames or events) and self._tick < horizon:
+                tick = self._tick
+                while events and events[0][0] <= tick:
+                    due, kind, _, payload = heappop(events)
+                    if kind == _EVENT_RESTART:
+                        spec, attempt, lineage = payload
+                        metrics.restarts += 1
+                        self._start_transaction(spec, attempt=attempt, lineage=lineage)
+                    else:
+                        metrics.submitted += 1
+                        metrics.arrived += 1
+                        self._admit(payload, arrival_tick=due)
+                if ready:
+                    if random_scheduling:
+                        frame = rng_choice(ready)[1]
+                    else:
+                        index = self._round_robin_cursor % len(ready)
+                        self._round_robin_cursor = index + 1
+                        frame = ready[index][1]
+                    self._tick = tick + 1
+                    decisions += 1
+                    self._advance(frame)
+                    continue
+                if events:
+                    due = events[0][0]
+                    if due >= horizon:
+                        self._tick = horizon
+                        break
+                    self._tick = due
+                    continue
+                if shard.waiters or shard.held or shard.sessions:
+                    # Blocked on the barrier: a directive (remote result,
+                    # global decision) must arrive before progress resumes.
+                    break
+                if not self._force_wake_all():
+                    break
+        finally:
+            metrics.decisions += decisions
+        return decisions
+
+    def apply_shard_directives(self, directives) -> None:
+        """Apply one round's coordinator directives, in order.
+
+        Directive tuples: ``("invoke", remote_id, gid, object, method,
+        args)`` admits a remote invocation; ``("result", remote_id,
+        value)`` delivers a remote result; ``("vote", gid)`` asks the local
+        scheduler's commit vote (answered via a ``("vote", gid, verdict,
+        reason)`` note); ``("commit", gid)`` / ``("abort", gid, reason)``
+        apply the coordinator's global decision.
+        """
+        for directive in directives:
+            kind = directive[0]
+            if kind == "invoke":
+                _, remote_id, gid, object_name, method_name, arguments = directive
+                self.admit_remote(gid, remote_id, object_name, method_name, arguments)
+            elif kind == "result":
+                self.deliver_remote_result(directive[1], directive[2])
+            elif kind == "vote":
+                gid = directive[1]
+                verdict, reason = self.commit_vote(gid)
+                self._shard.notes.append(("vote", gid, verdict, reason))
+            elif kind == "commit":
+                self.apply_global_commit(directive[1])
+            elif kind == "abort":
+                self.apply_global_abort(directive[1], directive[2])
+            else:
+                raise SimulationError(f"unknown shard directive {directive!r}")
+
+    def drain_shard_outbox(self) -> list[tuple]:
+        """The messages queued since the last barrier (clears the outbox)."""
+        shard = self._shard
+        messages, shard.outbox = shard.outbox, []
+        return messages
+
+    def drain_shard_notes(self) -> list[tuple]:
+        """The lifecycle notes queued since the last barrier (clears them)."""
+        shard = self._shard
+        notes, shard.notes = shard.notes, []
+        return notes
+
+    def shard_pending(self) -> bool:
+        """Whether this shard still holds live work or barrier state."""
+        shard = self._shard
+        return bool(self._frames or self._events or shard.waiters or shard.held)
+
+    def finalize_shard(self) -> RunResult:
+        """Close the shard's run once the driver declares the fleet done."""
+        return self._finalise_run()
+
+    def _send_remote_invoke(self, frame: _Frame, invocation: InvokeRequest) -> str:
+        """Queue a foreign-object invocation for the owning shard."""
+        shard = self._shard
+        gid = frame.info.top_level_id
+        # Safety net for imprecise classifiers: the id is cross-shard from
+        # the first remote invoke on, whatever classify() said at submit.
+        shard.cross.add(gid)
+        remote_id = f"{gid}/r{next(shard.remote_counter)}"
+        shard.waiters[remote_id] = frame.execution_id
+        shard.outbox.append(
+            (
+                "invoke",
+                remote_id,
+                gid,
+                invocation.object_name,
+                invocation.method_name,
+                invocation.arguments,
+            )
+        )
+        self.metrics.remote_invocations += 1
+        self._record(
+            INVOKE, remote_id, invocation.object_name, invocation.method_name
+        )
+        return remote_id
+
+    def _spawn_mixed_parallel(self, frame: _Frame, request: ParallelRequest) -> None:
+        """A parallel request whose branches span shards."""
+        shard = self._shard
+        existing_steps = list(frame.execution.step_ids())
+        waiting: set[str] = set()
+        order: list[str] = []
+        for invocation in request.invocations:
+            if shard.owns(invocation.object_name):
+                child = self._spawn_child(frame, invocation, after=existing_steps)
+                waiting.add(child.execution_id)
+                order.append(child.execution_id)
+            else:
+                remote_id = self._send_remote_invoke(frame, invocation)
+                waiting.add(remote_id)
+                order.append(remote_id)
+        self._set_not_ready(frame, _WAITING)
+        frame.waiting_on = waiting
+        frame.parallel_order = order
+        frame.parallel_results = {}
+
+    def deliver_remote_result(self, remote_id: str, value: Any) -> None:
+        """A remote invocation's result arrived (stale ids are dropped)."""
+        shard = self._shard
+        frame_id = shard.waiters.pop(remote_id, None)
+        if frame_id is None:
+            return
+        frame = self._frames.get(frame_id)
+        if frame is None or frame.status != _WAITING or remote_id not in frame.waiting_on:
+            return
+        frame.waiting_on.discard(remote_id)
+        if frame.parallel_order:
+            frame.parallel_results[remote_id] = value
+            if not frame.waiting_on:
+                frame.inbox = [
+                    frame.parallel_results.get(child_id)
+                    for child_id in frame.parallel_order
+                ]
+                frame.parallel_order = []
+                frame.parallel_results = {}
+                self._set_ready(frame)
+        elif not frame.waiting_on:
+            frame.inbox = value
+            self._set_ready(frame)
+
+    def admit_remote(
+        self,
+        gid: str,
+        remote_id: str,
+        object_name: str,
+        method_name: str,
+        arguments: tuple,
+    ) -> None:
+        """Run a foreign transaction's invocation under a local session root.
+
+        The first invocation for ``gid`` opens the session: an inert
+        top-level frame whose execution id *is* the foreign id, so to the
+        local scheduler the remote work is an ordinary nested transaction
+        (begin, lock inheritance, commit gate and garbage collection all
+        key by ``gid`` exactly as on the home shard).  Each invocation is
+        spawned as a child of that root; the root itself never becomes
+        runnable and is resolved only by the coordinator's global decision.
+        """
+        shard = self._shard
+        if gid in self._aborted_executions:
+            return  # raced with a local abort; the coordinator re-relays
+        session = shard.sessions.get(gid)
+        if session is None:
+            execution = self._builder.begin_top_level(
+                "remote-session", execution_id=gid
+            )
+            info = ExecutionInfo(
+                execution_id=gid,
+                object_name=self.object_base.environment.name,
+                method_name="remote-session",
+                parent_id=None,
+                ancestor_ids=(),
+                top_level_id=gid,
+            )
+            session = _Frame(
+                info=info,
+                execution=execution,
+                generator=_proxy_session_marker,
+                status=_WAITING,
+                seq=next(self._frame_sequence),
+            )
+            self._frames[gid] = session
+            self._executions_by_transaction[gid] = {gid}
+            shard.sessions[gid] = session
+            self.scheduler.on_transaction_begin(info)
+            self._record(BEGIN, gid, detail="remote session")
+        child = self._spawn_child(
+            session,
+            InvokeRequest(object_name, method_name, tuple(arguments)),
+            after=None,
+        )
+        child.shard_remote_id = remote_id
+        session.waiting_on.add(child.execution_id)
+
+    def _hold_commit(self, frame: _Frame, return_value: Any) -> None:
+        """Park a prepared cross-shard root until the global decision."""
+        shard = self._shard
+        self._set_not_ready(frame, _WAITING)
+        frame.pending_commit = True
+        frame.commit_value = return_value
+        shard.held[frame.execution_id] = frame
+        shard.notes.append(("prepared", frame.execution_id))
+        self._record(
+            BLOCKED, frame.execution_id, detail="prepared: awaiting global commit"
+        )
+
+    def commit_vote(self, gid: str) -> tuple[str, str]:
+        """This shard's two-phase vote on ``gid``: commit, defer or abort."""
+        shard = self._shard
+        frame = shard.held.get(gid) or shard.sessions.get(gid)
+        if frame is None:
+            return ("abort", "transaction unknown on this shard")
+        response = self.scheduler.on_commit_request(frame.info)
+        if response.blocked:
+            return ("defer", response.reason or "commit deferred")
+        if not response.granted:
+            return ("abort", response.reason or "commit vetoed")
+        return ("commit", "")
+
+    def apply_global_commit(self, gid: str) -> None:
+        """The coordinator decided commit: finalise the local share."""
+        shard = self._shard
+        frame = shard.held.pop(gid, None)
+        if frame is not None:
+            shard.cross.discard(gid)
+            self._finalise_commit(frame, frame.commit_value)
+            return
+        session = shard.sessions.pop(gid, None)
+        if session is not None:
+            self._finalise_session_commit(session)
+
+    def apply_global_abort(self, gid: str, reason: str) -> None:
+        """The coordinator decided abort: discard the local share."""
+        shard = self._shard
+        if gid in shard.sessions:
+            self._abort_remote(gid, reason)
+            return
+        shard.held.pop(gid, None)
+        if gid in self._frames or gid in self._executions_by_transaction:
+            # Home shard: the standard abort path applies (restart policy
+            # included) and re-notes the abort, which the coordinator
+            # ignores for an already-resolved id.
+            self._abort_transaction(gid, reason)
+
+    def _finalise_session_commit(self, session: _Frame) -> None:
+        """Commit a foreign transaction's local session (owner side).
+
+        Mirrors :meth:`_finalise_commit` minus home-only accounting: the
+        commit count, latency and restart-policy bookkeeping belong to the
+        home shard; here the session's locks are released, its undo
+        segments dropped and its committed executions recorded.
+        """
+        gid = session.execution_id
+        self.scheduler.on_transaction_commit(session.info)
+        self._committed.append(gid)
+        self._record(COMMITTED, gid, detail="remote session")
+        self._set_not_ready(session, _DONE)
+        self._frames.pop(gid, None)
+        self._undo_log.forget_transaction(gid)
+        subtree = self._executions_by_transaction.pop(gid, set())
+        self._drain_wakeups({gid, *subtree})
+        self._note_finished_attempt()
+
+    def _abort_remote(self, gid: str, reason: str) -> None:
+        """Abort a foreign transaction's local session (owner side).
+
+        Mirrors :meth:`_abort_transaction` minus home-only accounting (no
+        restart, no give-up, no in-flight or aborted-attempt counts — the
+        home shard owns those); wasted local steps are still counted here
+        because the work physically ran on this shard.
+        """
+        shard = self._shard
+        session = shard.sessions.pop(gid, None)
+        if session is None:
+            return
+        subtree_ids = set(self._executions_by_transaction.get(gid, ()))
+        subtree_ids.add(gid)
+        frames = self._frames
+        subtree_frames = [
+            frames[execution_id]
+            for execution_id in subtree_ids
+            if execution_id in frames
+        ]
+        self._aborted_executions.update(subtree_ids)
+        self._record(ABORTED, gid, detail=reason)
+        self.scheduler.on_transaction_abort(session.info, tuple(sorted(subtree_ids)))
+        for frame in subtree_frames:
+            if frame.status == _PARKED:
+                self._clear_parking(frame)
+            self._set_not_ready(frame, _DONE)
+            self._frames.pop(frame.execution_id, None)
+        for remote_id in [
+            remote_id
+            for remote_id, frame_id in shard.waiters.items()
+            if frame_id in subtree_ids
+        ]:
+            del shard.waiters[remote_id]
+        self.metrics.wasted_steps += self._undo_states(gid, subtree_ids)
+        self._drain_wakeups(subtree_ids)
+        self._executions_by_transaction.pop(gid, None)
+        shard.notes.append(("aborted", gid, reason))
+        self._note_finished_attempt()
+
+    def _check_arrival_truncation(self) -> None:
+        """Refuse to end a run that silently dropped queued arrivals.
+
+        The tick cap can cut a streamed run short while arrivals are still
+        queued on the event heap; every metric downstream (commit rate,
+        throughput, the bounded-memory gauge) would then describe a shorter
+        stream than the one requested.  Restart events may be truncated
+        silently — the transaction already arrived and its attempts are
+        accounted — but an undelivered *arrival* means the workload itself
+        was cut, which is an error, not a result.
+        """
+        if self._tick < self.max_ticks:
+            return
+        undelivered = sum(1 for event in self._events if event[1] == _EVENT_ARRIVAL)
+        if undelivered:
+            raise SimulationError(
+                f"run truncated at max_ticks={self.max_ticks} with {undelivered} "
+                "streamed arrival(s) still undelivered; raise max_ticks to cover "
+                "the arrival schedule (the last arrival is due at tick "
+                f"{max(event[0] for event in self._events if event[1] == _EVENT_ARRIVAL)})"
+            )
 
     def _next_event_tick(self) -> int | None:
         """The earliest tick a queued restart or arrival becomes due, if any."""
@@ -757,7 +1285,17 @@ class SimulationEngine:
 
     def _start_transaction(self, spec: TransactionSpec, attempt: int, lineage: int) -> None:
         definition = self.object_base.environment.method(spec.method_name)
-        execution = self._builder.begin_top_level(spec.method_name)
+        shard = self._shard
+        if shard is not None and shard.id_prefix:
+            # Namespaced ids keep top-level (and hence child) execution ids
+            # globally unique across the shard fleet; single-shard runs keep
+            # the builder's own ids so they stay bit-identical to plain runs.
+            execution = self._builder.begin_top_level(
+                spec.method_name,
+                execution_id=f"{shard.id_prefix}T{next(shard.txn_counter)}",
+            )
+        else:
+            execution = self._builder.begin_top_level(spec.method_name)
         info = ExecutionInfo(
             execution_id=execution.execution_id,
             object_name=self.object_base.environment.name,
@@ -783,6 +1321,10 @@ class SimulationEngine:
         if attempt == 1:
             self.restart_policy.on_submit(lineage)
         self.scheduler.on_transaction_begin(info)
+        if shard is not None and shard.classify(spec):
+            # Register the attempt for two-phase coordination; each restart
+            # is a fresh id, so the coordinator sees attempts, not lineages.
+            shard.cross.add(info.execution_id)
         if self._certifier is not None:
             self._certifier.note_begin(info.execution_id, self._builder.clock)
         self._record(BEGIN if attempt == 1 else RESTARTED, info.execution_id, detail=spec.label)
@@ -856,14 +1398,27 @@ class SimulationEngine:
         return hasattr(candidate, "send") and hasattr(candidate, "throw")
 
     def _handle_request(self, frame: _Frame, request: Any) -> None:
+        shard = self._shard
         if isinstance(request, LocalRequest):
             self._resolve_local(frame, request)
         elif isinstance(request, InvokeRequest):
+            if shard is not None and not shard.owns(request.object_name):
+                remote_id = self._send_remote_invoke(frame, request)
+                self._set_not_ready(frame, _WAITING)
+                frame.waiting_on = {remote_id}
+                frame.parallel_order = []
+                return
             child = self._spawn_child(frame, request, after=None)
             self._set_not_ready(frame, _WAITING)
             frame.waiting_on = {child.execution_id}
             frame.parallel_order = []
         elif isinstance(request, ParallelRequest):
+            if shard is not None and not all(
+                shard.owns(invocation.object_name)
+                for invocation in request.invocations
+            ):
+                self._spawn_mixed_parallel(frame, request)
+                return
             existing_steps = list(frame.execution.step_ids())
             children = [
                 self._spawn_child(frame, invocation, after=existing_steps)
@@ -935,6 +1490,15 @@ class SimulationEngine:
             )
         metrics.local_steps += 1
         self.scheduler.on_operation_executed(operation_request, value)
+        shard = self._shard
+        if (
+            shard is not None
+            and shard.tracker is not None
+            and (info.top_level_id in shard.cross or info.top_level_id in shard.sessions)
+        ):
+            # Only cross-shard work feeds the inter-shard precedence graph;
+            # purely local transactions are the local scheduler's business.
+            shard.tracker.note_step(info, provisional_step)
         self._record(GRANTED, frame.execution_id, object_name, operation.name)
         frame.inbox = value
 
@@ -956,6 +1520,20 @@ class SimulationEngine:
         self._drain_wakeups()
 
     def _deliver_to_parent(self, child: _Frame, return_value: Any) -> None:
+        if child.shard_remote_id is not None:
+            # A remote-session child: its result travels back to the shard
+            # that requested it (open-nesting style, the value is
+            # provisional until the global commit); the session root stays
+            # open, retaining the subtree's locks, until the coordinator
+            # resolves the transaction.
+            shard = self._shard
+            shard.outbox.append(
+                ("result", child.shard_remote_id, child.info.top_level_id, return_value)
+            )
+            parent = child.parent
+            if parent is not None:
+                parent.waiting_on.discard(child.execution_id)
+            return
         parent = child.parent
         if parent is None or parent.status != _WAITING:
             return
@@ -976,6 +1554,12 @@ class SimulationEngine:
                 self._set_ready(parent)
 
     def _complete_top_level(self, frame: _Frame, return_value: Any) -> None:
+        shard = self._shard
+        if shard is not None and frame.info.top_level_id in shard.cross:
+            # A cross-shard transaction cannot commit unilaterally: hold the
+            # prepared root for the coordinator's two-phase decision.
+            self._hold_commit(frame, return_value)
+            return
         response = self.scheduler.on_commit_request(frame.info)
         if response.blocked:
             # The scheduler defers the commit (e.g. until the transactions
@@ -1000,6 +1584,10 @@ class SimulationEngine:
         if not response.granted:
             self._abort_transaction(frame.info.top_level_id, response.reason or "commit vetoed")
             return
+        self._finalise_commit(frame, return_value)
+
+    def _finalise_commit(self, frame: _Frame, return_value: Any) -> None:
+        """Apply a granted commit (shared with the global-commit directive)."""
         frame.pending_commit = False
         self.scheduler.on_transaction_commit(frame.info)
         self.metrics.committed += 1
@@ -1061,6 +1649,14 @@ class SimulationEngine:
         return "other"
 
     def _abort_transaction(self, top_level_id: str, reason: str) -> None:
+        shard = self._shard
+        if shard is not None and top_level_id in shard.sessions:
+            # A locally-detected abort (deadlock, timestamp violation,
+            # starvation) of a *foreign* transaction's session: discard the
+            # local subtree and notify the coordinator, which relays the
+            # abort to the home shard (where restart policy applies).
+            self._abort_remote(top_level_id, reason)
+            return
         top_frame = self._frames.get(top_level_id)
         # Every execution ever created for this attempt belongs to the
         # aborted subtree (including completed children whose frames are
@@ -1106,6 +1702,19 @@ class SimulationEngine:
         # the attempt's execution index (a restart gets fresh ids).
         self._drain_wakeups(subtree_ids)
         self._executions_by_transaction.pop(top_level_id, None)
+
+        if shard is not None and top_level_id in shard.cross:
+            # Unregister the attempt and tell the coordinator, so every
+            # other participant discards its session for this id.
+            shard.cross.discard(top_level_id)
+            shard.held.pop(top_level_id, None)
+            for remote_id in [
+                remote_id
+                for remote_id, frame_id in shard.waiters.items()
+                if frame_id in subtree_ids
+            ]:
+                del shard.waiters[remote_id]
+            shard.notes.append(("aborted", top_level_id, reason))
 
         # Restart the transaction if its spec allows it; *when* is the
         # restart policy's call — zero delay restarts within this tick

@@ -61,6 +61,8 @@ class RunMetrics:
     wasted_steps: int = 0
     blocked_ticks: int = 0
     invocations: int = 0
+    #: Invocations shipped to another shard's engine (0 on plain runs).
+    remote_invocations: int = 0
     aborts_by_reason: Counter = field(default_factory=Counter)
     submitted: int = 0
     parks: int = 0
@@ -192,6 +194,7 @@ class RunMetrics:
             "wasted_steps": self.wasted_steps,
             "blocked_ticks": self.blocked_ticks,
             "invocations": self.invocations,
+            "remote_invocations": self.remote_invocations,
             "submitted": self.submitted,
             "parks": self.parks,
             "wakes": self.wakes,
@@ -214,6 +217,54 @@ class RunMetrics:
             "wasted_fraction": self.wasted_fraction,
             "aborts_by_reason": dict(self.aborts_by_reason),
         }
+
+
+def merge_run_metrics(parts: "list[RunMetrics]") -> RunMetrics:
+    """Fold per-shard metrics into one fleet-level :class:`RunMetrics`.
+
+    Counters add across shards.  ``total_ticks`` is the maximum — shards
+    advance lock-step rounds towards a common horizon, so the slowest
+    shard's clock is the fleet makespan.  The two peak gauges
+    (``in_flight_peak``, ``live_state_peak``) add as a documented *upper
+    bound*: per-shard peaks need not coincide in time, so the sum can
+    overstate the simultaneous fleet peak but never understates it (the
+    bounded-memory assertions stay conservative).  The ratio peak takes
+    the worst shard.
+    """
+    merged = RunMetrics()
+    for metrics in parts:
+        merged.total_ticks = max(merged.total_ticks, metrics.total_ticks)
+        merged.decisions += metrics.decisions
+        merged.committed += metrics.committed
+        merged.aborted_attempts += metrics.aborted_attempts
+        merged.gave_up += metrics.gave_up
+        merged.restarts += metrics.restarts
+        merged.delayed_restarts += metrics.delayed_restarts
+        merged.restart_delay_ticks += metrics.restart_delay_ticks
+        merged.local_steps += metrics.local_steps
+        merged.wasted_steps += metrics.wasted_steps
+        merged.blocked_ticks += metrics.blocked_ticks
+        merged.invocations += metrics.invocations
+        merged.remote_invocations += metrics.remote_invocations
+        merged.aborts_by_reason.update(metrics.aborts_by_reason)
+        merged.submitted += metrics.submitted
+        merged.parks += metrics.parks
+        merged.wakes += metrics.wakes
+        merged.forced_wakes += metrics.forced_wakes
+        merged.commit_parks += metrics.commit_parks
+        merged.wait_ticks += metrics.wait_ticks
+        merged.commit_wait_ticks += metrics.commit_wait_ticks
+        merged.arrived += metrics.arrived
+        merged.in_flight_peak += metrics.in_flight_peak
+        merged.latency_count += metrics.latency_count
+        merged.latency_sum += metrics.latency_sum
+        merged.latency_max = max(merged.latency_max, metrics.latency_max)
+        merged.live_state_peak += metrics.live_state_peak
+        merged.live_state_ratio_peak = max(
+            merged.live_state_ratio_peak, metrics.live_state_ratio_peak
+        )
+        merged.live_state_samples += metrics.live_state_samples
+    return merged
 
 
 @dataclass

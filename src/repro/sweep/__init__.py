@@ -42,7 +42,9 @@ from .runner import (
     SweepRunner,
     build_engine,
     run_scenario,
+    run_sharded_scenario,
     summarise_run,
+    summarise_sharded_run,
 )
 from .spec import (
     ENGINE_PARAM_NAMES,
@@ -67,7 +69,9 @@ __all__ = [
     "render_markdown_report",
     "rows_of",
     "run_scenario",
+    "run_sharded_scenario",
     "summarise_run",
+    "summarise_sharded_run",
     "sweep_report",
     "write_json_report",
     "write_markdown_report",

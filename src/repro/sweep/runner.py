@@ -122,8 +122,28 @@ def summarise_run(
     Returns:
         The flat row (plain scalars only — JSON- and comparison-safe).
     """
-    metrics = result.metrics
-    row: dict[str, Any] = {
+    row = _metrics_row(result.metrics, scheduler_name)
+    if certify == "stream":
+        report = result.streaming_report
+        if report is None:
+            raise ValueError(
+                "certify='stream' requires the engine to have run with "
+                "certify='stream' (no streaming report on this RunResult)"
+            )
+        row["serialisable"] = report.serialisable
+        if check_legality:
+            row["legal"] = report.legal
+    elif certify:
+        report = certify_run(result, check_legality=check_legality)
+        row["serialisable"] = report.serialisable
+        if check_legality:
+            row["legal"] = report.legal
+    return row
+
+
+def _metrics_row(metrics, scheduler_name: str) -> dict[str, Any]:
+    """The metric columns shared by plain and sharded rows."""
+    return {
         "scheduler": scheduler_name,
         "committed": metrics.committed,
         "commit_rate": metrics.commit_rate,
@@ -152,22 +172,39 @@ def summarise_run(
         "live_state_peak": metrics.live_state_peak,
         "live_state_ratio": metrics.live_state_per_in_flight,
     }
-    if certify == "stream":
-        report = result.streaming_report
-        if report is None:
-            raise ValueError(
-                "certify='stream' requires the engine to have run with "
-                "certify='stream' (no streaming report on this RunResult)"
-            )
-        row["serialisable"] = report.serialisable
-        if check_legality:
-            row["legal"] = report.legal
-    elif certify:
-        report = certify_run(result, check_legality=check_legality)
-        row["serialisable"] = report.serialisable
-        if check_legality:
-            row["legal"] = report.legal
+
+
+def summarise_sharded_run(result, scheduler_name: str) -> dict[str, Any]:
+    """Flatten a :class:`~repro.shard.engine.ShardedRunResult` into a row.
+
+    Same columns as :func:`summarise_run` over the merged fleet metrics,
+    plus the shard-level extras: ``shards``, ``rounds``,
+    ``remote_invocations``, the coordinator's decision counters and the
+    conjunction of the per-shard certification verdicts (certification
+    runs *inside* the shard workers, so the verdicts are already on the
+    result).
+    """
+    row = _metrics_row(result.metrics, scheduler_name)
+    row["shards"] = len(result.shards)
+    row["shard_rounds"] = result.rounds
+    row["remote_invocations"] = result.metrics.remote_invocations
+    row["cross_commits"] = result.coordinator["commits_decided"]
+    row["cross_aborts"] = result.coordinator["aborts_decided"]
+    if result.serialisable is not None:
+        row["serialisable"] = result.serialisable
+    if result.legal is not None:
+        row["legal"] = result.legal
     return row
+
+
+def run_sharded_scenario(spec: ScenarioSpec):
+    """Run a ``shards > 1`` scenario; returns the ShardedRunResult."""
+    # Imported lazily: repro.shard builds on the sweep layer (spec payloads),
+    # so a module-level import here would be circular.
+    from ..shard import ShardMap, ShardedEngine
+
+    shard_map = ShardMap(shards=spec.shards, assignment=spec.shard_assignment)
+    return ShardedEngine(spec, shard_map, check_legality=spec.check_legality).run()
 
 
 def run_scenario(spec: ScenarioSpec, index: int = 0) -> ScenarioResult:
@@ -183,11 +220,14 @@ def run_scenario(spec: ScenarioSpec, index: int = 0) -> ScenarioResult:
         scenario's tags merged in after the metric columns.
     """
     started = time.perf_counter()
-    engine = build_engine(spec)
-    result = engine.run()
-    row = summarise_run(
-        result, spec.scheduler, certify=spec.certify, check_legality=spec.check_legality
-    )
+    if spec.shards > 1:
+        row = summarise_sharded_run(run_sharded_scenario(spec), spec.scheduler)
+    else:
+        engine = build_engine(spec)
+        result = engine.run()
+        row = summarise_run(
+            result, spec.scheduler, certify=spec.certify, check_legality=spec.check_legality
+        )
     row.update(spec.tags)
     return ScenarioResult(
         index=index,

@@ -57,9 +57,25 @@ ENGINE_PARAM_NAMES = frozenset(
 )
 
 _SCALAR_FIELDS = frozenset(
-    {"workload", "scheduler", "seed", "certify", "check_legality", "modular_strategy_from_workload"}
+    {
+        "workload",
+        "scheduler",
+        "seed",
+        "certify",
+        "check_legality",
+        "modular_strategy_from_workload",
+        "shards",
+        "shard_mode",
+    }
 )
-_MAPPING_FIELDS = frozenset({"workload_params", "scheduler_kwargs", "engine_params", "tags"})
+_MAPPING_FIELDS = frozenset(
+    {"workload_params", "scheduler_kwargs", "engine_params", "tags", "shard_assignment"}
+)
+
+#: Execution modes of the sharded engine (``repro.shard``): the in-process
+#: oracle and the one-worker-process-per-shard transport it must match
+#: bit for bit.
+SHARD_MODES = ("inprocess", "multiprocess")
 
 #: Metrics-row columns produced by :func:`repro.sweep.runner.summarise_run`.
 #: Tags (and hence axis names) must not shadow them: ``row.update(tags)``
@@ -98,6 +114,16 @@ RESERVED_ROW_COLUMNS = frozenset(
         "live_state_ratio",
         "serialisable",
         "legal",
+        # Sharded-run extras (repro.sweep.runner.summarise_sharded_run).
+        # ``shards`` is reserved too: an axis varying the shard count must
+        # pick a different *name* (e.g. ``shard_count``) while targeting
+        # the ``shards`` field, or its string label would overwrite the
+        # measured integer column.
+        "shards",
+        "shard_rounds",
+        "remote_invocations",
+        "cross_commits",
+        "cross_aborts",
     }
 )
 
@@ -148,6 +174,16 @@ class ScenarioSpec:
             ``modular_strategy_map()`` and pass it to the scheduler factory
             as ``per_object_strategy`` (how E5 wires the modular scheduler
             without embedding per-object tables in the spec).
+        shards: partition the object space over this many shards and run
+            one engine per shard under the inter-shard coordinator
+            (``repro.shard``); ``1`` (the default) is the plain
+            single-engine path, bit for bit.
+        shard_mode: ``"inprocess"`` runs every shard in the current
+            interpreter (the determinism oracle); ``"multiprocess"`` runs
+            one worker process per shard.  Ignored when ``shards == 1``.
+        shard_assignment: explicit ``object name -> shard index`` pins for
+            the :class:`~repro.shard.map.ShardMap` (names absent here fall
+            back to the CRC-32 placement).
         tags: extra key/value pairs merged into the metrics row after the
             run — the sweep axes record their labels here.
     """
@@ -161,6 +197,9 @@ class ScenarioSpec:
     certify: bool | str = True
     check_legality: bool = False
     modular_strategy_from_workload: bool = False
+    shards: int = 1
+    shard_mode: str = "inprocess"
+    shard_assignment: dict[str, int] = field(default_factory=dict)
     tags: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -168,6 +207,7 @@ class ScenarioSpec:
         self.workload_params = _canonical(self.workload_params, where="workload_params")
         self.scheduler_kwargs = _canonical(self.scheduler_kwargs, where="scheduler_kwargs")
         self.engine_params = _canonical(self.engine_params, where="engine_params")
+        self.shard_assignment = _canonical(self.shard_assignment, where="shard_assignment")
         self.tags = _canonical(self.tags, where="tags")
 
     # -- validation ------------------------------------------------------------
@@ -259,6 +299,38 @@ class ScenarioSpec:
                 f"workload {self.workload!r} does not define modular_strategy_map(), "
                 "required by modular_strategy_from_workload=True"
             )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise SweepSpecError(f"shards must be an int, got {self.shards!r}")
+        if self.shards < 1:
+            raise SweepSpecError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_mode not in SHARD_MODES:
+            raise SweepSpecError(
+                f"unknown shard_mode {self.shard_mode!r}; "
+                f"available: {', '.join(SHARD_MODES)}"
+            )
+        if self.shards > 1 and self.certify == "stream":
+            raise SweepSpecError(
+                "certify='stream' is the single-engine online path; sharded "
+                "runs certify each shard's committed projection post-hoc "
+                "(use certify=True)"
+            )
+        if not isinstance(self.shard_assignment, Mapping):
+            raise SweepSpecError(
+                f"shard_assignment must be a mapping, got {self.shard_assignment!r}"
+            )
+        for name, index in self.shard_assignment.items():
+            if not isinstance(name, str) or not name:
+                raise SweepSpecError(
+                    f"shard_assignment keys must be object names, got {name!r}"
+                )
+            if not isinstance(index, int) or isinstance(index, bool):
+                raise SweepSpecError(
+                    f"shard_assignment[{name!r}] must be an int, got {index!r}"
+                )
+            if not 0 <= index < self.shards:
+                raise SweepSpecError(
+                    f"shard_assignment[{name!r}] = {index} outside 0..{self.shards - 1}"
+                )
 
     # -- description -----------------------------------------------------------
 

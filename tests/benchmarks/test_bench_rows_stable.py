@@ -87,14 +87,29 @@ class TestCommittedSweepsReproduce:
         The first recorded E15 sweep ran with ``certify=False`` (before
         the streaming certifier existed).  Apart from the columns the
         certifier *adds* (:data:`E15_STREAMING_COLUMNS`), today's
-        ``certify="stream"`` rows must reproduce it bit-for-bit.
+        ``certify="stream"`` rows must reproduce it bit-for-bit.  The
+        comparison covers the configurations that sweep actually ran —
+        the modular scheduler only joined the grid once its coordinator
+        GC landed, so its rows have no pre-streaming baseline.
         """
-        recorded = recorded_sweep(
-            e15.BENCH_JSON, len(e15_fresh_rows), latest=False
-        )
+        all_rows = json.loads(e15.BENCH_JSON.read_text()).get("rows", [])
+        first_sweep: dict[tuple, dict] = {}
+        for row in all_rows:
+            key = (row.get("scheduler"), row.get("arrival"))
+            if key in first_sweep:
+                break  # a repeated configuration starts the second sweep
+            first_sweep[key] = row
+        fresh = [
+            row
+            for row in e15_fresh_rows
+            if (row.get("scheduler"), row.get("arrival")) in first_sweep
+        ]
+        if len(fresh) < len(first_sweep):
+            pytest.skip("current grid no longer covers the baseline sweep")
+        recorded = [
+            first_sweep[(row.get("scheduler"), row.get("arrival"))] for row in fresh
+        ]
         columns = [
             column for column in e15.COLUMNS if column not in E15_STREAMING_COLUMNS
         ]
-        assert_rows_match(
-            e15_fresh_rows, recorded, columns, ("scheduler", "arrival")
-        )
+        assert_rows_match(fresh, recorded, columns, ("scheduler", "arrival"))

@@ -106,6 +106,25 @@ class TestRunStream:
         with pytest.raises(SimulationError, match="single-use"):
             engine.submit_stream(specs, arrival)
 
+    def test_truncated_stream_raises_instead_of_dropping_arrivals(self):
+        # A tick cap that cuts the arrival schedule short must refuse the
+        # run: at rate 0.05 the 60-transaction schedule stretches far past
+        # 40 ticks, so arrivals are still queued when the cap lands.
+        engine, specs, arrival = build_stream_engine("n2pl", max_ticks=40)
+        with pytest.raises(SimulationError, match="undelivered"):
+            engine.run_stream(specs, arrival)
+
+    def test_truncation_of_in_flight_work_still_tolerated(self):
+        # Once every arrival is delivered, cutting the *processing* short is
+        # a truncated-but-valid run (the pre-PR behaviour): only dropped
+        # arrivals are an error.  A closed batch enters at tick 0, so a tiny
+        # cap truncates mid-processing with nothing left on the event heap.
+        engine, specs, _ = build_stream_engine("n2pl", max_ticks=5)
+        engine.submit_all(specs)
+        result = engine.run()
+        assert result.metrics.total_ticks <= 5
+        assert result.metrics.committed < len(specs)
+
     def test_unknown_arrival_process(self):
         engine, specs, _ = build_stream_engine("n2pl")
         with pytest.raises(KeyError, match="unknown arrival process"):
@@ -154,14 +173,15 @@ class TestGarbageCollectionOracles:
         assert result.metrics.aborted_attempts > 0, "scenario lost its contention"
         assert certify_run(result, check_legality=True).legal is True
 
-    def test_gc_prunes_and_decisions_match_gc_off(self):
+    @pytest.mark.parametrize("scheduler_name", ["certifier", "modular"])
+    def test_gc_prunes_and_decisions_match_gc_off(self, scheduler_name):
         # The same stream with GC effectively disabled (huge interval)
         # must produce the identical run — commits, order, metrics other
         # than the gauge itself.
         outcomes = []
         for gc_interval in (4, 10**9):
             engine, specs, arrival = build_stream_engine(
-                "certifier",
+                scheduler_name,
                 scheduler_kwargs={"restart_policy": "backoff"},
                 gc_interval=gc_interval,
             )
@@ -176,7 +196,7 @@ class TestGarbageCollectionOracles:
             )
         assert outcomes[0] == outcomes[1]
 
-    @pytest.mark.parametrize("scheduler_name", ["certifier", "nto-step"])
+    @pytest.mark.parametrize("scheduler_name", ["certifier", "nto-step", "modular"])
     def test_collector_reports_pruned_records(self, scheduler_name):
         engine, specs, arrival = build_stream_engine(
             scheduler_name,
@@ -190,7 +210,7 @@ class TestGarbageCollectionOracles:
 class TestLiveStateGauge:
     """Retained state is O(in-flight), not O(total arrivals)."""
 
-    @pytest.mark.parametrize("scheduler_name", ["n2pl", "nto-step", "certifier"])
+    @pytest.mark.parametrize("scheduler_name", ["n2pl", "nto-step", "certifier", "modular"])
     def test_gauge_flat_across_stream_lengths(self, scheduler_name):
         peaks = {}
         for transactions in (120, 480):
@@ -230,7 +250,7 @@ class TestLiveStateGauge:
             "the total arrival count"
         )
 
-    @pytest.mark.parametrize("scheduler_name", ["nto-step", "certifier"])
+    @pytest.mark.parametrize("scheduler_name", ["nto-step", "certifier", "modular"])
     def test_gc_shrinks_peak_versus_gc_off(self, scheduler_name):
         # The discriminating experiment: the identical stream with the
         # collector effectively disabled retains O(arrivals) state.
