@@ -127,6 +127,19 @@ WATCHES = (
         columns=("mu_ratio_vs_one", "commit_rate"),
         noise_floor=("wall_seconds", 0.25),
     ),
+    Watch(
+        name="E19",
+        path=BENCH_DIR / "BENCH_e19_adaptive.json",
+        key_fields=("scenario", "scheduler"),
+        # ``commit_rate`` and ``throughput_vs_best_fixed`` (the adaptive
+        # rows' throughput over the best fixed strategy's on the same
+        # scenario; None on fixed rows skips them) are pure functions of
+        # the seeded spec, but sub-floor smoke cells would make the grid
+        # itself untrustworthy, so the wall floor keeps only
+        # experiment-sized baselines gating.
+        columns=("commit_rate", "throughput_vs_best_fixed"),
+        noise_floor=("wall_seconds", 0.25),
+    ),
 )
 
 

@@ -1,0 +1,114 @@
+"""Uniform component resolution for every pluggable registry.
+
+The library grew four pluggable component families — restart policies,
+arrival processes, workloads and schedulers — and, before this module,
+four slightly different resolution functions: one accepted only a
+registry name, one a name or a mapping, two a name, a mapping or a ready
+instance, each with its own error wording.  :func:`resolve_component`
+is the single shape behind all of them.  A *component specification* is
+uniformly one of
+
+* a registry **name** — ``"backoff"``;
+* a JSON-friendly **mapping** — ``{"name": "backoff", "base": 16}`` —
+  the ``name`` entry selects the factory, every other entry is passed
+  as a constructor keyword;
+* a ready **instance** of the component's base type, returned unchanged
+  (extra keywords are rejected: an already-built component cannot be
+  reconfigured).
+
+The mapping shape is what lets declarative sweep axes
+(:mod:`repro.sweep`) target any component knob without code: the spec
+stays JSON-serialisable all the way into the worker processes.  The
+adaptive scheduler's policy ladder and the modular scheduler's
+``per_object_strategy`` accept the same shapes for their intra-object
+strategies (:data:`repro.scheduler.modular.INTRA_STRATEGIES`).
+
+Errors are uniform and actionable: unknown names raise :class:`KeyError`
+naming the registry's available entries, malformed specifications raise
+:class:`TypeError` describing the accepted shapes.  The historical entry
+points (``make_restart_policy``, ``make_arrival_process``,
+``make_workload``, ``make_scheduler``) remain as thin wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+__all__ = ["component_names", "resolve_component"]
+
+
+def component_names(registry: Mapping[str, Any]) -> list[str]:
+    """The sorted registry names a specification may reference."""
+    return sorted(registry)
+
+
+def resolve_component(
+    registry: Mapping[str, Callable[..., Any]],
+    spec: Any,
+    *,
+    kind: str = "component",
+    instance_of: type | tuple[type, ...] | None = None,
+    construction_args: tuple = (),
+    **kwargs: Any,
+):
+    """Build a component from a ``name | {"name", ...kwargs} | instance`` spec.
+
+    Args:
+        registry: mapping of names to factories (classes or callables).
+        spec: the component specification — a registry name, a mapping
+            with a ``"name"`` entry plus constructor keywords, or (when
+            ``instance_of`` is given) a ready instance.
+        kind: human-readable component family name used in error
+            messages (``"restart policy"``, ``"workload"``, ...).
+        instance_of: base type(s) of ready instances; ``None`` means the
+            instance shape is not accepted for this family.
+        construction_args: positional arguments prepended to the factory
+            call when the component is built from a name or mapping
+            (ready instances are returned as-is and never see them).
+        **kwargs: extra constructor keywords, merged over the mapping's
+            entries.  Rejected when ``spec`` is already an instance.
+
+    Raises:
+        KeyError: on a name absent from ``registry`` (the message lists
+            the available names).
+        TypeError: on a mapping without a ``"name"`` entry, a
+            specification of an unsupported type, keywords applied to a
+            ready instance, or keywords the factory does not accept.
+    """
+    if instance_of is not None and isinstance(spec, instance_of):
+        if kwargs:
+            raise TypeError(
+                f"cannot apply keyword arguments to a ready "
+                f"{type(spec).__name__} instance"
+            )
+        return spec
+    if isinstance(spec, str):
+        name, merged = spec, dict(kwargs)
+    elif isinstance(spec, Mapping):
+        merged = {key: value for key, value in spec.items() if key != "name"}
+        merged.update(kwargs)
+        name = spec.get("name")
+        if not isinstance(name, str):
+            raise TypeError(
+                f"{kind} mapping needs a 'name' entry, got {dict(spec)!r}"
+            )
+    else:
+        raise TypeError(
+            f"{kind} must be a name, a mapping or {_instance_phrase(instance_of)}, "
+            f"got {spec!r}"
+        )
+    try:
+        factory = registry[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown {kind} {name!r}; "
+            f"available: {', '.join(component_names(registry))}"
+        ) from exc
+    return factory(*construction_args, **merged)
+
+
+def _instance_phrase(instance_of: type | tuple[type, ...] | None) -> str:
+    if instance_of is None:
+        return "an instance"
+    types = instance_of if isinstance(instance_of, tuple) else (instance_of,)
+    return " or ".join(f"a {cls.__name__}" for cls in types)

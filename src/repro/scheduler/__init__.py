@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..core.registry import resolve_component
+from .adaptive import DEFAULT_LADDER, AdaptiveModularScheduler
 from .base import (
     Decision,
     ExecutionInfo,
@@ -26,12 +28,15 @@ from .deadlock import WaitsForGraph
 from .locks import LockEntry, LockManager, LockRequestOutcome
 from .modular import (
     BTreeKeyLocking,
+    INTRA_STRATEGIES,
     InterObjectCoordinator,
+    IntraObjectCertifier,
     IntraObjectLocking,
     IntraObjectSynchroniser,
     IntraObjectTimestampOrdering,
     ModularScheduler,
     disjoint_ancestors,
+    make_intra_strategy,
 )
 from .n2pl import NestedTwoPhaseLocking, StepLevelNestedTwoPhaseLocking
 from .nto import NestedTimestampOrdering, StepLevelNestedTimestampOrdering
@@ -103,27 +108,49 @@ SCHEDULER_FACTORIES: dict[str, Callable[..., Scheduler]] = {
         level=level,
         restart_policy=restart_policy,
     ),
+    "adaptive": lambda ladder=DEFAULT_LADDER, window=128, promote_threshold=4,
+    demote_threshold=0, hysteresis=2, drain_limit=4, drain_patience=8,
+    per_object_strategy=None, inter_object_checks=True, level=STEP_LEVEL,
+    restart_policy=IMMEDIATE_RESTART, gate_mode=CASCADE_MODE: (
+        AdaptiveModularScheduler(
+            ladder=ladder,
+            window=window,
+            promote_threshold=promote_threshold,
+            demote_threshold=demote_threshold,
+            hysteresis=hysteresis,
+            drain_limit=drain_limit,
+            drain_patience=drain_patience,
+            per_object_strategy=per_object_strategy,
+            inter_object_checks=inter_object_checks,
+            level=level,
+            restart_policy=restart_policy,
+            gate_mode=gate_mode,
+        )
+    ),
 }
 
 
-def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
-    """Instantiate a scheduler by its registry name (see ``scheduler_names``).
+def make_scheduler(name: "str | Any", **kwargs: Any) -> Scheduler:
+    """Instantiate a scheduler from a name, a config mapping, or an instance.
 
-    Args:
-        name: a :data:`SCHEDULER_FACTORIES` key.
-        **kwargs: factory keywords for the chosen scheduler.
+    Accepted shapes (the uniform component-specification contract of
+    :func:`repro.core.registry.resolve_component`):
+
+    * ``"modular"`` — a :data:`SCHEDULER_FACTORIES` key, optionally with
+      ``**kwargs`` as factory keywords;
+    * ``{"name": "modular", "default_strategy": "timestamp"}`` — a
+      factory name plus keywords (``**kwargs`` are merged in);
+    * a ready :class:`Scheduler` instance (returned unchanged; keywords
+      are rejected).
 
     Raises:
         KeyError: on an unknown name.
-        TypeError: on keywords the chosen factory does not accept.
+        TypeError: on keywords the chosen factory does not accept, or an
+            unsupported specification type.
     """
-    try:
-        factory = SCHEDULER_FACTORIES[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULER_FACTORIES))}"
-        ) from exc
-    return factory(**kwargs)
+    return resolve_component(
+        SCHEDULER_FACTORIES, name, kind="scheduler", instance_of=Scheduler, **kwargs
+    )
 
 
 def scheduler_names() -> list[str]:
@@ -133,7 +160,10 @@ def scheduler_names() -> list[str]:
 
 __all__ = [
     "ACA_MODE",
+    "AdaptiveModularScheduler",
     "BTreeKeyLocking",
+    "DEFAULT_LADDER",
+    "INTRA_STRATEGIES",
     "CASCADE_MODE",
     "CommitGate",
     "Decision",
@@ -147,6 +177,7 @@ __all__ = [
     "ExecutionInfo",
     "HierarchicalTimestamp",
     "InterObjectCoordinator",
+    "IntraObjectCertifier",
     "IntraObjectLocking",
     "IntraObjectSynchroniser",
     "IntraObjectTimestampOrdering",
@@ -169,6 +200,7 @@ __all__ = [
     "TimestampAuthority",
     "WaitsForGraph",
     "disjoint_ancestors",
+    "make_intra_strategy",
     "make_restart_policy",
     "make_scheduler",
     "restart_policy_names",

@@ -32,12 +32,14 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 
 import networkx as nx
 
 from ..core.conflicts import ConflictSpec
+from ..core.errors import UnknownObjectError
 from ..core.operations import LocalStep
+from ..core.registry import resolve_component
 from ..objectbase.base import ObjectBase
 from .base import (
     OPERATION_LEVEL,
@@ -81,6 +83,19 @@ class IntraObjectSynchroniser:
 
     def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
         """The operation executed and returned ``value``."""
+
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        """The top-level transaction asks to commit (optimistic validation hook).
+
+        Called once per commit request for every synchroniser that
+        overrides it (the modular scheduler skips synchronisers that keep
+        the default).  Returning an abort response vetoes the commit —
+        the certifying strategy's backward-validation point.
+        """
+        return SchedulerResponse.grant()
+
+    def on_transaction_committed(self, transaction_id: str) -> None:
+        """The top-level transaction committed (fires before ``finished``)."""
 
     def on_transaction_finished(self, transaction_id: str) -> None:
         """The top-level transaction committed or aborted."""
@@ -232,6 +247,110 @@ class IntraObjectTimestampOrdering(IntraObjectSynchroniser):
         return len(self._records) + len(self._timestamps)
 
 
+class IntraObjectCertifier(IntraObjectSynchroniser):
+    """Per-object optimistic certification (backward validation at commit).
+
+    The optimist's end of the strategy spectrum: operations are granted
+    immediately and never block, so an uncontended object pays no lock
+    table or timestamp bookkeeping on the hot path.  The price is paid at
+    commit: a transaction validates against every transaction that
+    committed on this object after it first touched the object, and is
+    aborted when any of those installed a conflicting item (classic
+    first-committer-wins backward validation, object-locally).  Under
+    contention whole executions are wasted at the commit point — exactly
+    the trade the adaptive manager (:mod:`repro.scheduler.adaptive`)
+    exploits by promoting hot objects towards blocking strategies.
+
+    Global serialisability never rests on this class: with the
+    inter-object coordinator on, the precedence-graph check already
+    orders every conflicting pair across all objects.  The certifier is
+    the object's *local* serialisation discipline, kept honest so the
+    modular split's intra-object half still does its job per Section 2.
+    """
+
+    strategy = "certifier"
+
+    def __init__(self, object_name: str, conflicts: ConflictSpec, step_level: bool = True):
+        super().__init__(object_name, conflicts, step_level)
+        self._seq = itertools.count(1)
+        self._started: dict[str, int] = {}
+        self._items: dict[str, list] = defaultdict(list)
+        self._committed: list[tuple[tuple, int]] = []  # (items, commit seq)
+        self.certification_aborts = 0
+
+    def on_operation(self, request: OperationRequest) -> SchedulerResponse:
+        transaction_id = request.info.top_level_id
+        if transaction_id not in self._started:
+            self._started[transaction_id] = next(self._seq)
+        return SchedulerResponse.grant()
+
+    def on_operation_executed(self, request: OperationRequest, value: Any) -> None:
+        item = (
+            LocalStep(request.info.execution_id, request.object_name, request.operation, value)
+            if self.step_level
+            else request.operation
+        )
+        self._items[request.info.top_level_id].append(item)
+
+    def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        transaction_id = info.top_level_id
+        mine = self._items.get(transaction_id)
+        if not mine:
+            return SchedulerResponse.grant()
+        started = self._started[transaction_id]
+        for committed_items, commit_seq in self._committed:
+            if commit_seq <= started:
+                continue
+            for committed_item in committed_items:
+                for item in mine:
+                    # Conservative both-direction check: any conflict with a
+                    # transaction that committed during our window invalidates.
+                    if self._items_conflict(committed_item, item) or self._items_conflict(
+                        item, committed_item
+                    ):
+                        self.certification_aborts += 1
+                        return SchedulerResponse.abort(
+                            f"intra-object certification failure on "
+                            f"{self.object_name}: conflicting transaction "
+                            f"committed first"
+                        )
+        return SchedulerResponse.grant()
+
+    def on_transaction_committed(self, transaction_id: str) -> None:
+        items = self._items.get(transaction_id)
+        if items:
+            self._committed.append((tuple(items), next(self._seq)))
+
+    def on_transaction_finished(self, transaction_id: str) -> None:
+        self._started.pop(transaction_id, None)
+        self._items.pop(transaction_id, None)
+
+    def collect_garbage(self) -> int:
+        """Watermark pruning of the committed window.
+
+        A committed entry stamped at or below every live transaction's
+        start can never again satisfy ``commit_seq > started`` for any
+        current or future validator (future transactions draw strictly
+        larger start stamps), so dropping it is decision-invariant.
+        """
+        before = len(self._committed)
+        watermark = min(self._started.values(), default=None)
+        if watermark is None:
+            self._committed.clear()
+        else:
+            self._committed[:] = [
+                entry for entry in self._committed if entry[1] > watermark
+            ]
+        return before - len(self._committed)
+
+    def live_state_size(self) -> int:
+        return (
+            len(self._started)
+            + sum(len(items) for items in self._items.values())
+            + sum(len(items) for items, _ in self._committed)
+        )
+
+
 class BTreeKeyLocking(IntraObjectLocking):
     """Key-granularity locking for B-tree index objects.
 
@@ -248,9 +367,71 @@ class BTreeKeyLocking(IntraObjectLocking):
 INTRA_STRATEGIES: dict[str, Callable[..., IntraObjectSynchroniser]] = {
     "locking": IntraObjectLocking,
     "timestamp": IntraObjectTimestampOrdering,
+    "certifier": IntraObjectCertifier,
     "btree-key-locking": BTreeKeyLocking,
     "pass-through": IntraObjectSynchroniser,
 }
+
+
+def make_intra_strategy(
+    spec: Any, object_name: str, conflicts: ConflictSpec, step_level: bool = True
+) -> IntraObjectSynchroniser:
+    """Build an intra-object synchroniser from a uniform component spec.
+
+    Accepts the same ``name | {"name", ...kwargs} | instance`` shapes as
+    every other registry (:func:`repro.core.registry.resolve_component`),
+    so ``per_object_strategy`` maps and the adaptive scheduler's policy
+    ladder share one contract.  A ready instance is returned unchanged
+    and must already be bound to ``object_name``.
+
+    Raises:
+        KeyError: on an unknown strategy name.
+        TypeError: on a malformed specification, or an instance bound to
+            a different object.
+    """
+    synchroniser = resolve_component(
+        INTRA_STRATEGIES,
+        spec,
+        kind="intra-object strategy",
+        instance_of=IntraObjectSynchroniser,
+        construction_args=(object_name, conflicts, step_level),
+    )
+    if synchroniser.object_name != object_name:
+        raise TypeError(
+            f"intra-object strategy instance is bound to "
+            f"{synchroniser.object_name!r}, not {object_name!r}"
+        )
+    return synchroniser
+
+
+def validate_intra_strategy_spec(spec: Any) -> None:
+    """Eagerly reject strategy specs that could never resolve.
+
+    Construction needs an object's conflict specification, so full
+    resolution happens at :meth:`ModularScheduler.attach`; this check
+    surfaces unknown names and malformed mappings at configuration time
+    instead (the scheduler constructors call it).
+    """
+    if isinstance(spec, IntraObjectSynchroniser):
+        return
+    if isinstance(spec, str):
+        name = spec
+    elif isinstance(spec, Mapping):
+        name = spec.get("name")
+        if not isinstance(name, str):
+            raise TypeError(
+                f"intra-object strategy mapping needs a 'name' entry, got {dict(spec)!r}"
+            )
+    else:
+        raise TypeError(
+            f"intra-object strategy must be a name, a mapping or an "
+            f"IntraObjectSynchroniser, got {spec!r}"
+        )
+    if name not in INTRA_STRATEGIES:
+        raise KeyError(
+            f"unknown intra-object strategy {name!r}; "
+            f"available: {', '.join(sorted(INTRA_STRATEGIES))}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -414,8 +595,8 @@ class ModularScheduler(Scheduler):
 
     def __init__(
         self,
-        default_strategy: str = "locking",
-        per_object_strategy: dict[str, str] | None = None,
+        default_strategy: Any = "locking",
+        per_object_strategy: dict[str, Any] | None = None,
         inter_object_checks: bool = True,
         level: str = STEP_LEVEL,
         restart_policy: Any = "immediate",
@@ -428,8 +609,12 @@ class ModularScheduler(Scheduler):
         self.gate_mode = gate_mode
         self.default_strategy = default_strategy
         self.per_object_strategy = dict(per_object_strategy or {})
+        validate_intra_strategy_spec(default_strategy)
+        for strategy_spec in self.per_object_strategy.values():
+            validate_intra_strategy_spec(strategy_spec)
         self.inter_object_checks = inter_object_checks
         self._synchronisers: dict[str, IntraObjectSynchroniser] = {}
+        self._commit_checkers: list[IntraObjectSynchroniser] = []
         self._coordinator: InterObjectCoordinator | None = None
         self.waits = WaitsForGraph()
         self.authority = TimestampAuthority()
@@ -461,15 +646,15 @@ class ModularScheduler(Scheduler):
         step_level = self.level == STEP_LEVEL
         for object_name in object_base.object_names(include_environment=True):
             definition = object_base.definition(object_name)
-            strategy_name = (
+            strategy_spec = (
                 self.per_object_strategy.get(object_name)
                 or definition.intra_object_synchroniser
                 or self.default_strategy
             )
-            factory = INTRA_STRATEGIES.get(strategy_name, IntraObjectLocking)
-            self._synchronisers[object_name] = factory(
-                object_name, registry[object_name], step_level
+            self._synchronisers[object_name] = make_intra_strategy(
+                strategy_spec, object_name, registry[object_name], step_level
             )
+        self._refresh_commit_checkers()
         self._coordinator = InterObjectCoordinator(lambda name: registry[name], step_level)
         self.waits = WaitsForGraph()
         self.authority = TimestampAuthority()
@@ -478,13 +663,29 @@ class ModularScheduler(Scheduler):
         self.blocked_requests = 0
         self.gc_pruned_records = 0
 
+    def _refresh_commit_checkers(self) -> None:
+        # Only synchronisers that override the default (always-grant)
+        # commit hook are consulted on the commit path, so the common
+        # locking/timestamp configurations pay nothing for it.
+        self._commit_checkers = [
+            synchroniser
+            for synchroniser in self._synchronisers.values()
+            if type(synchroniser).on_commit_request
+            is not IntraObjectSynchroniser.on_commit_request
+        ]
+
     def synchroniser_for(self, object_name: str) -> IntraObjectSynchroniser:
-        if object_name not in self._synchronisers:
-            registry = self.conflicts_for(self.level)
-            self._synchronisers[object_name] = IntraObjectLocking(
-                object_name, registry[object_name], self.level == STEP_LEVEL
-            )
-        return self._synchronisers[object_name]
+        try:
+            return self._synchronisers[object_name]
+        except KeyError:
+            # Historically this silently handed out a locking synchroniser,
+            # which masked typos and out-of-base accesses; unknown objects
+            # are a caller error, exactly like the eager attach-time path.
+            raise UnknownObjectError(
+                f"no intra-object synchroniser for unknown object "
+                f"{object_name!r}; attached objects: "
+                f"{', '.join(sorted(self._synchronisers)) or '(none)'}"
+            ) from None
 
     # -- scheduling --------------------------------------------------------------
 
@@ -549,13 +750,46 @@ class ModularScheduler(Scheduler):
             )
             self.gate.record_step(request.object_name, item, request.info.top_level_id)
 
+    def _note_commit_veto(
+        self, synchroniser: IntraObjectSynchroniser, response: SchedulerResponse
+    ) -> None:
+        """Hook: a synchroniser vetoed a commit (adaptive sampling taps this)."""
+
     def on_commit_request(self, info: ExecutionInfo) -> SchedulerResponse:
+        for synchroniser in self._commit_checkers:
+            response = synchroniser.on_commit_request(info)
+            if not response.granted:
+                self._note_commit_veto(synchroniser, response)
+                return response
         if not self.inter_object_checks:
             return SchedulerResponse.grant()
-        return self.gate.check_commit(info.top_level_id)
+        transaction_id = info.top_level_id
+        response = self.gate.check_commit(transaction_id)
+        if response.blocked:
+            # A commit-wait must enter the same waits-for graph as the lock
+            # and aca waits: a transaction holding an intra-object lock can
+            # be commit-blocked on a transaction that waits for that very
+            # lock, and neither the gate's graph nor ours alone sees the
+            # full cycle.  (The gate still catches pure commit-wait cycles
+            # itself.)
+            self.waits.park(transaction_id, transaction_id, set(response.blockers))
+            cycle = self.waits.find_cycle_from(transaction_id)
+            if cycle is not None:
+                self.deadlocks_detected += 1
+                self.waits.remove_transaction(transaction_id)
+                return SchedulerResponse.abort(
+                    f"deadlock among transactions {sorted(set(cycle))} "
+                    "(commit-wait closing a lock-wait cycle)"
+                )
+            return response
+        if response.granted:
+            self.waits.unpark(transaction_id)
+        return response
 
     def _finish_transaction(self, info: ExecutionInfo, *, committed: bool) -> None:
         for synchroniser in self._synchronisers.values():
+            if committed:
+                synchroniser.on_transaction_committed(info.top_level_id)
             synchroniser.on_transaction_finished(info.top_level_id)
         if self._coordinator is not None:
             self._coordinator.note_finished(info.top_level_id)

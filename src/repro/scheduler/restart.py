@@ -36,6 +36,8 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Mapping
 
+from ..core.registry import resolve_component
+
 #: Registry name of the default (pre-PR-4) policy.
 IMMEDIATE_RESTART = "immediate"
 
@@ -199,25 +201,6 @@ def make_restart_policy(
         TypeError: on keywords the policy does not accept, or an
             unsupported specification type.
     """
-    if isinstance(policy, RestartPolicy):
-        return policy
-    if isinstance(policy, str):
-        name, kwargs = policy, {}
-    elif isinstance(policy, Mapping):
-        kwargs = {key: value for key, value in policy.items() if key != "name"}
-        name = policy.get("name")
-        if not isinstance(name, str):
-            raise TypeError(
-                f"restart policy mapping needs a 'name' entry, got {dict(policy)!r}"
-            )
-    else:
-        raise TypeError(
-            f"restart_policy must be a name, a mapping or a RestartPolicy, got {policy!r}"
-        )
-    try:
-        factory = RESTART_POLICIES[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown restart policy {name!r}; available: {', '.join(restart_policy_names())}"
-        ) from exc
-    return factory(**kwargs)
+    return resolve_component(
+        RESTART_POLICIES, policy, kind="restart policy", instance_of=RestartPolicy
+    )

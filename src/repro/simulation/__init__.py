@@ -4,12 +4,21 @@ from .arrivals import (
     ARRIVAL_REGISTRY,
     ArrivalProcess,
     BurstyArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
     PoissonArrivals,
     arrival_process_names,
     make_arrival_process,
 )
 from .engine import INCREMENTAL_UNDO, REPLAY_UNDO, SimulationEngine
 from .events import Trace, TraceEvent
+from .faults import (
+    CrashPlan,
+    FAULT_REGISTRY,
+    FaultPlan,
+    fault_plan_names,
+    make_fault_plan,
+)
 from .metrics import RunMetrics, RunResult
 from .transactions import (
     InvokeRequest,
@@ -23,10 +32,12 @@ from .workloads import (
     BTreeWorkload,
     HotspotWorkload,
     MixedWorkload,
+    OrderProcessingWorkload,
     QueueWorkload,
     RandomOperationsWorkload,
     StreamingWorkload,
     WORKLOAD_REGISTRY,
+    ZipfianWorkload,
     make_workload,
     workload_names,
 )
@@ -37,11 +48,17 @@ __all__ = [
     "BankingWorkload",
     "BTreeWorkload",
     "BurstyArrivals",
+    "CrashPlan",
+    "DiurnalArrivals",
+    "FAULT_REGISTRY",
+    "FaultPlan",
+    "FlashCrowdArrivals",
     "HotspotWorkload",
     "InvokeRequest",
     "LocalRequest",
     "MethodContext",
     "MixedWorkload",
+    "OrderProcessingWorkload",
     "ParallelRequest",
     "PoissonArrivals",
     "QueueWorkload",
@@ -56,8 +73,11 @@ __all__ = [
     "TraceEvent",
     "TransactionSpec",
     "WORKLOAD_REGISTRY",
+    "ZipfianWorkload",
     "arrival_process_names",
+    "fault_plan_names",
     "make_arrival_process",
+    "make_fault_plan",
     "make_workload",
     "workload_names",
 ]

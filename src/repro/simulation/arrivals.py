@@ -25,8 +25,11 @@ declaratively.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Any, Callable, Mapping
+
+from ..core.registry import resolve_component
 
 #: Registry name of the default arrival process.
 POISSON_ARRIVALS = "poisson"
@@ -175,9 +178,163 @@ class BurstyArrivals(ArrivalProcess):
         }
 
 
+class DiurnalArrivals(ArrivalProcess):
+    """Poisson arrivals whose rate follows a smooth day/night load curve.
+
+    The instantaneous rate oscillates sinusoidally around ``rate`` with
+    relative amplitude ``amplitude`` and period ``period`` ticks:
+    ``rate * (1 + amplitude * sin(2π * t / period))``, evaluated at the
+    previous arrival's tick.  A scheduler tuned on the mean rate sees
+    alternating stretches of near-idle and near-double load — the shape
+    that rewards demoting objects to optimistic strategies during the
+    trough and promoting them before the peak saturates.
+
+    Args:
+        rate: mean arrivals per tick, as for :class:`PoissonArrivals`.
+        amplitude: relative swing of the rate in ``[0, 1)``; ``0.8`` means
+            the rate sweeps between 0.2× and 1.8× the mean.
+        period: full day length in ticks (>= 2).
+        seed: explicit RNG seed; ``None`` derives one from the engine
+            seed at :meth:`bind` time.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        rate: float = 0.1,
+        amplitude: float = 0.8,
+        period: int = 4096,
+        seed: int | None = None,
+    ):
+        if not rate > 0:
+            raise ValueError(f"diurnal mean rate must be > 0, got {rate}")
+        if not 0 <= amplitude < 1:
+            raise ValueError(
+                f"diurnal amplitude must lie in [0, 1), got {amplitude}"
+            )
+        if period < 2:
+            raise ValueError(f"diurnal period must be >= 2 ticks, got {period}")
+        self.rate = float(rate)
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._clock = 0
+
+    def bind(self, seed: int) -> None:
+        effective = self.seed if self.seed is not None else seed ^ 0x27D4EB2F
+        self._rng = random.Random(effective)
+        self._clock = 0
+
+    def interarrival(self, index: int) -> int:
+        phase = math.sin(math.tau * (self._clock % self.period) / self.period)
+        instantaneous = self.rate * (1.0 + self.amplitude * phase)
+        gap = round(self._rng.expovariate(instantaneous))
+        self._clock += gap
+        return gap
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "amplitude": self.amplitude,
+            "period": self.period,
+        }
+
+
+class FlashCrowdArrivals(ArrivalProcess):
+    """A steady Poisson baseline punctuated by sudden sustained spikes.
+
+    Arrivals follow the baseline ``rate`` until a seeded exponential timer
+    (mean ``mean_calm`` ticks) fires; the rate then jumps to
+    ``rate * spike_factor`` for ``spike_length`` ticks before collapsing
+    back.  Unlike :class:`BurstyArrivals` — whose bursts are a fixed-size
+    clump of back-to-back transactions — a flash crowd is an *interval* of
+    elevated rate: the in-flight population climbs for the whole spike,
+    which is the admission pattern that forces an adaptive scheduler to
+    promote hot objects mid-run and demote them after the crowd passes.
+
+    Args:
+        rate: baseline arrivals per tick (> 0).
+        spike_factor: rate multiplier during a spike (> 1).
+        spike_length: duration of one spike in ticks (>= 1).
+        mean_calm: mean ticks of baseline traffic between spikes (>= 1).
+        seed: explicit RNG seed; ``None`` derives one from the engine
+            seed at :meth:`bind` time.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        rate: float = 0.05,
+        spike_factor: float = 8.0,
+        spike_length: int = 256,
+        mean_calm: int = 2048,
+        seed: int | None = None,
+    ):
+        if not rate > 0:
+            raise ValueError(f"flash-crowd baseline rate must be > 0, got {rate}")
+        if not spike_factor > 1:
+            raise ValueError(
+                f"flash-crowd spike factor must be > 1, got {spike_factor}"
+            )
+        if spike_length < 1:
+            raise ValueError(
+                f"flash-crowd spike length must be >= 1, got {spike_length}"
+            )
+        if mean_calm < 1:
+            raise ValueError(
+                f"flash-crowd mean calm period must be >= 1, got {mean_calm}"
+            )
+        self.rate = float(rate)
+        self.spike_factor = float(spike_factor)
+        self.spike_length = int(spike_length)
+        self.mean_calm = int(mean_calm)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._clock = 0
+        self._spike_until = 0
+        self._next_spike = 0
+
+    def bind(self, seed: int) -> None:
+        effective = self.seed if self.seed is not None else seed ^ 0x165667B1
+        self._rng = random.Random(effective)
+        self._clock = 0
+        self._spike_until = 0
+        self._next_spike = 1 + round(self._rng.expovariate(1.0 / self.mean_calm))
+
+    def interarrival(self, index: int) -> int:
+        if self._clock >= self._next_spike:
+            self._spike_until = self._next_spike + self.spike_length
+            self._next_spike = self._spike_until + 1 + round(
+                self._rng.expovariate(1.0 / self.mean_calm)
+            )
+        instantaneous = (
+            self.rate * self.spike_factor
+            if self._clock < self._spike_until
+            else self.rate
+        )
+        gap = round(self._rng.expovariate(instantaneous))
+        self._clock += gap
+        return gap
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "rate": self.rate,
+            "spike_factor": self.spike_factor,
+            "spike_length": self.spike_length,
+            "mean_calm": self.mean_calm,
+        }
+
+
 ARRIVAL_REGISTRY: dict[str, Callable[..., ArrivalProcess]] = {
     "poisson": PoissonArrivals,
     "bursty": BurstyArrivals,
+    "diurnal": DiurnalArrivals,
+    "flash-crowd": FlashCrowdArrivals,
 }
 
 
@@ -207,30 +364,10 @@ def make_arrival_process(
         TypeError: on keywords the process does not accept, or an
             unsupported specification type.
     """
-    if isinstance(process, ArrivalProcess):
-        if kwargs:
-            raise TypeError(
-                "cannot apply keyword arguments to a ready ArrivalProcess instance"
-            )
-        return process
-    if isinstance(process, str):
-        name, merged = process, dict(kwargs)
-    elif isinstance(process, Mapping):
-        merged = {key: value for key, value in process.items() if key != "name"}
-        merged.update(kwargs)
-        name = process.get("name")
-        if not isinstance(name, str):
-            raise TypeError(
-                f"arrival process mapping needs a 'name' entry, got {dict(process)!r}"
-            )
-    else:
-        raise TypeError(
-            f"arrival process must be a name, a mapping or an ArrivalProcess, got {process!r}"
-        )
-    try:
-        factory = ARRIVAL_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown arrival process {name!r}; available: {', '.join(arrival_process_names())}"
-        ) from exc
-    return factory(**merged)
+    return resolve_component(
+        ARRIVAL_REGISTRY,
+        process,
+        kind="arrival process",
+        instance_of=ArrivalProcess,
+        **kwargs,
+    )

@@ -92,6 +92,7 @@ from .events import (
     BLOCKED,
     COMMITTED,
     COMPLETED,
+    FAULT_INJECTED,
     GAVE_UP,
     GRANTED,
     INVOKE,
@@ -101,6 +102,7 @@ from .events import (
     Trace,
     TraceEvent,
 )
+from .faults import FaultPlan, make_fault_plan
 from .metrics import RunMetrics, RunResult
 from .transactions import (
     InvokeRequest,
@@ -135,6 +137,7 @@ STREAM_CERTIFY = "stream"
 # drained first each iteration, then due arrivals).
 _EVENT_RESTART = 0
 _EVENT_ARRIVAL = 1
+_EVENT_FAULT = 2
 
 
 @dataclass(slots=True)
@@ -306,6 +309,7 @@ class SimulationEngine:
         gc_interval: int = 64,
         hot_loop: str = EVENT_LOOP,
         certify: bool | str = False,
+        fault_plan: "FaultPlan | str | dict | None" = None,
     ):
         if scheduling not in ("random", "round-robin"):
             raise SimulationError(f"unknown scheduling policy {scheduling!r}")
@@ -381,6 +385,25 @@ class SimulationEngine:
         self._events: list[tuple[int, int, int, Any]] = []
         self._restart_sequence = itertools.count()
         self._arrival_sequence = itertools.count()
+        self._fault_sequence = itertools.count()
+        # Fault injection: explicit crash ticks enter the heap up front,
+        # periodic crashes re-arm themselves at each firing (see
+        # _inject_fault) for as long as work remains.
+        self._fault_plan: FaultPlan | None = (
+            make_fault_plan(fault_plan) if fault_plan is not None else None
+        )
+        if self._fault_plan is not None:
+            self._fault_plan.bind(seed)
+            for due in self._fault_plan.initial_ticks():
+                heapq.heappush(
+                    self._events, (due, _EVENT_FAULT, next(self._fault_sequence), None)
+                )
+            first_periodic = self._fault_plan.next_after(0)
+            if first_periodic is not None:
+                heapq.heappush(
+                    self._events,
+                    (first_periodic, _EVENT_FAULT, next(self._fault_sequence), None),
+                )
         self._last_arrival_tick = 0
         # Lineage = original submission index, preserved across restarts so
         # the restart policy can reason about transaction seniority.
@@ -601,6 +624,8 @@ class SimulationEngine:
                         spec, attempt, lineage = payload
                         metrics.restarts += 1
                         self._start_transaction(spec, attempt=attempt, lineage=lineage)
+                    elif kind == _EVENT_FAULT:
+                        self._inject_fault(due)
                     else:
                         metrics.submitted += 1
                         metrics.arrived += 1
@@ -664,6 +689,8 @@ class SimulationEngine:
                 spec, attempt, lineage = payload
                 self.metrics.restarts += 1
                 self._start_transaction(spec, attempt=attempt, lineage=lineage)
+            elif kind == _EVENT_FAULT:
+                self._inject_fault(due)
             else:
                 self.metrics.submitted += 1
                 self.metrics.arrived += 1
@@ -777,6 +804,8 @@ class SimulationEngine:
                         spec, attempt, lineage = payload
                         metrics.restarts += 1
                         self._start_transaction(spec, attempt=attempt, lineage=lineage)
+                    elif kind == _EVENT_FAULT:
+                        self._inject_fault(due)
                     else:
                         metrics.submitted += 1
                         metrics.arrived += 1
@@ -1630,6 +1659,47 @@ class SimulationEngine:
         self._executions_by_transaction.pop(frame.execution_id, None)
         self._note_finished_attempt()
 
+    # -- fault injection -------------------------------------------------------------
+
+    def _inject_fault(self, due: int) -> None:
+        """Fire one fault-plan crash: kill a live top-level transaction.
+
+        The victim dies through the ordinary abort path — undo, scheduler
+        release, cascade exposure, restart policy — so an injected crash
+        is indistinguishable from a scheduler-initiated abort downstream.
+        Shard-foreign sessions are excluded (their home shard owns their
+        lineage); with no eligible victim the fault passes without effect.
+        A periodic plan re-arms itself here for as long as any work
+        (frames or queued events) remains, so an idle tail never spins on
+        fault events alone.
+        """
+        plan = self._fault_plan
+        if plan is None:  # defensive: events exist only when a plan is set
+            return
+        shard = self._shard
+        lineage_of = self._lineage_of
+        candidates = sorted(
+            (
+                transaction_id
+                for transaction_id in self._executions_by_transaction
+                if shard is None or transaction_id not in shard.sessions
+            ),
+            key=lambda transaction_id: (
+                lineage_of.get(transaction_id, 0),
+                transaction_id,
+            ),
+        )
+        victim = plan.choose_victim(candidates)
+        if victim is not None:
+            self.metrics.faults_injected += 1
+            self._record(FAULT_INJECTED, victim, detail=f"crash injected at tick {due}")
+            self._abort_transaction(victim, "fault: injected crash")
+        next_due = plan.next_after(due)
+        if next_due is not None and (self._frames or self._events):
+            heapq.heappush(
+                self._events, (next_due, _EVENT_FAULT, next(self._fault_sequence), None)
+            )
+
     # -- aborts ----------------------------------------------------------------------
 
     @staticmethod
@@ -1643,6 +1713,7 @@ class SimulationEngine:
             "inter-object",
             "intra-object",
             "starvation",
+            "fault",
         ):
             if keyword in lowered:
                 return "cascade" if keyword == "cascad" else keyword

@@ -43,6 +43,7 @@ RESTART_SCHEDULED = "restart-scheduled"
 COMPLETED = "completed"
 COMMITTED = "committed"
 GAVE_UP = "gave-up"
+FAULT_INJECTED = "fault-injected"
 
 
 @dataclass

@@ -64,6 +64,7 @@ class RunMetrics:
     #: Invocations shipped to another shard's engine (0 on plain runs).
     remote_invocations: int = 0
     aborts_by_reason: Counter = field(default_factory=Counter)
+    faults_injected: int = 0
     submitted: int = 0
     parks: int = 0
     wakes: int = 0
@@ -216,6 +217,7 @@ class RunMetrics:
             "blocked_fraction": self.blocked_fraction,
             "wasted_fraction": self.wasted_fraction,
             "aborts_by_reason": dict(self.aborts_by_reason),
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -247,6 +249,7 @@ def merge_run_metrics(parts: "list[RunMetrics]") -> RunMetrics:
         merged.invocations += metrics.invocations
         merged.remote_invocations += metrics.remote_invocations
         merged.aborts_by_reason.update(metrics.aborts_by_reason)
+        merged.faults_injected += metrics.faults_injected
         merged.submitted += metrics.submitted
         merged.parks += metrics.parks
         merged.wakes += metrics.wakes

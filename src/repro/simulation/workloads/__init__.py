@@ -12,12 +12,14 @@ processes from JSON-serialisable parameters.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping
 
+from ...core.registry import resolve_component
 from .banking import BankingWorkload
 from .btree_load import BTreeWorkload
 from .hotspot import HotspotWorkload
 from .mixed import MixedWorkload
+from .order_processing import OrderProcessingWorkload
 from .queues import QueueWorkload
 from .random_ops import RandomOperationsWorkload
 from .stream import (
@@ -25,10 +27,13 @@ from .stream import (
     StreamingBTreeWorkload,
     StreamingHotspotWorkload,
     StreamingMixedWorkload,
+    StreamingOrderProcessingWorkload,
     StreamingQueueWorkload,
     StreamingRandomOperationsWorkload,
     StreamingWorkload,
+    StreamingZipfianWorkload,
 )
+from .zipf import ZipfianWorkload
 
 #: Short names accepted by :func:`make_workload` and ``repro.sweep`` specs.
 #: The ``*-stream`` entries wrap the matching closed-batch generator in an
@@ -40,38 +45,53 @@ WORKLOAD_REGISTRY: dict[str, type] = {
     "btree": BTreeWorkload,
     "hotspot": HotspotWorkload,
     "mixed": MixedWorkload,
+    "order-processing": OrderProcessingWorkload,
     "queue": QueueWorkload,
     "random-ops": RandomOperationsWorkload,
+    "zipf": ZipfianWorkload,
     "stream": StreamingWorkload,
     "banking-stream": StreamingBankingWorkload,
     "btree-stream": StreamingBTreeWorkload,
     "hotspot-stream": StreamingHotspotWorkload,
     "mixed-stream": StreamingMixedWorkload,
+    "order-processing-stream": StreamingOrderProcessingWorkload,
     "queue-stream": StreamingQueueWorkload,
     "random-ops-stream": StreamingRandomOperationsWorkload,
+    "zipf-stream": StreamingZipfianWorkload,
 }
 
 
-def make_workload(name: str, **params: Any):
-    """Instantiate a workload by its registry name.
+def make_workload(name: "str | Mapping[str, Any] | Any", **params: Any):
+    """Instantiate a workload from a name, a config mapping, or an instance.
 
-    Args:
-        name: a key of :data:`WORKLOAD_REGISTRY` (e.g. ``"hotspot"``).
-        **params: constructor arguments of the workload dataclass.
+    Accepted shapes (the uniform component-specification contract of
+    :func:`repro.core.registry.resolve_component`):
+
+    * ``"hotspot"`` — a :data:`WORKLOAD_REGISTRY` key, optionally with
+      ``**params`` as constructor keywords;
+    * ``{"name": "hotspot", "registers": 32}`` — a registry name plus
+      constructor keywords (``**params`` are merged in);
+    * a ready workload instance — anything with a callable ``build``
+      attribute — returned unchanged (keywords are rejected).
 
     Returns:
         The workload instance (not yet built — call :meth:`build` on it).
 
     Raises:
-        KeyError: when ``name`` is not registered.
+        KeyError: when the name is not registered.
+        TypeError: on keywords the workload does not accept, or an
+            unsupported specification type.
     """
-    try:
-        workload_class = WORKLOAD_REGISTRY[name]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOAD_REGISTRY))}"
-        ) from exc
-    return workload_class(**params)
+    if not isinstance(name, (str, Mapping)) and callable(
+        getattr(name, "build", None)
+    ):
+        if params:
+            raise TypeError(
+                f"cannot apply keyword arguments to a ready "
+                f"{type(name).__name__} instance"
+            )
+        return name
+    return resolve_component(WORKLOAD_REGISTRY, name, kind="workload", **params)
 
 
 def workload_names() -> list[str]:
@@ -84,15 +104,19 @@ __all__ = [
     "BTreeWorkload",
     "HotspotWorkload",
     "MixedWorkload",
+    "OrderProcessingWorkload",
     "QueueWorkload",
     "RandomOperationsWorkload",
     "StreamingBankingWorkload",
     "StreamingBTreeWorkload",
     "StreamingHotspotWorkload",
     "StreamingMixedWorkload",
+    "StreamingOrderProcessingWorkload",
     "StreamingQueueWorkload",
     "StreamingRandomOperationsWorkload",
     "StreamingWorkload",
+    "StreamingZipfianWorkload",
+    "ZipfianWorkload",
     "WORKLOAD_REGISTRY",
     "make_workload",
     "workload_names",

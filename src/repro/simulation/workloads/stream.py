@@ -194,3 +194,17 @@ class StreamingBTreeWorkload(StreamingWorkload):
     """B-tree index traffic as an arrival stream."""
 
     inner: str = "btree"
+
+
+@dataclass
+class StreamingZipfianWorkload(StreamingWorkload):
+    """Zipf-skewed register traffic as an arrival stream (E19's hot/cold mix)."""
+
+    inner: str = "zipf"
+
+
+@dataclass
+class StreamingOrderProcessingWorkload(StreamingWorkload):
+    """The order-processing pipeline as an arrival stream."""
+
+    inner: str = "order-processing"

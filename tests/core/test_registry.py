@@ -1,0 +1,102 @@
+"""Uniform component resolution: the one spec shape behind every registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import component_names, resolve_component
+
+
+class Widget:
+    def __init__(self, size=1, colour="red"):
+        self.size = size
+        self.colour = colour
+
+
+class Gadget:
+    def __init__(self, prefix, size=1):
+        self.prefix = prefix
+        self.size = size
+
+
+REGISTRY = {"widget": Widget, "gadget": Gadget}
+
+
+class TestShapes:
+    def test_name(self):
+        built = resolve_component(REGISTRY, "widget")
+        assert isinstance(built, Widget)
+        assert built.size == 1
+
+    def test_name_with_kwargs(self):
+        built = resolve_component(REGISTRY, "widget", size=4)
+        assert built.size == 4
+
+    def test_mapping(self):
+        built = resolve_component(REGISTRY, {"name": "widget", "colour": "blue"})
+        assert built.colour == "blue"
+
+    def test_kwargs_override_mapping_entries(self):
+        built = resolve_component(
+            REGISTRY, {"name": "widget", "size": 2}, size=9
+        )
+        assert built.size == 9
+
+    def test_instance_passthrough(self):
+        ready = Widget(size=7)
+        assert (
+            resolve_component(REGISTRY, ready, instance_of=Widget) is ready
+        )
+
+    def test_construction_args_are_prepended(self):
+        built = resolve_component(
+            REGISTRY, "gadget", construction_args=("pfx",), size=3
+        )
+        assert built.prefix == "pfx"
+        assert built.size == 3
+
+    def test_instances_never_see_construction_args(self):
+        ready = Gadget("pfx")
+        resolved = resolve_component(
+            REGISTRY, ready, instance_of=Gadget, construction_args=("other",)
+        )
+        assert resolved is ready
+
+
+class TestErrors:
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="unknown component 'nope'.*gadget, widget"):
+            resolve_component(REGISTRY, "nope")
+
+    def test_kind_names_the_family(self):
+        with pytest.raises(KeyError, match="unknown restart policy"):
+            resolve_component(REGISTRY, "nope", kind="restart policy")
+
+    def test_mapping_without_name(self):
+        with pytest.raises(TypeError, match="needs a 'name' entry"):
+            resolve_component(REGISTRY, {"size": 3})
+
+    def test_mapping_with_non_string_name(self):
+        with pytest.raises(TypeError, match="needs a 'name' entry"):
+            resolve_component(REGISTRY, {"name": 42})
+
+    def test_unsupported_spec_type(self):
+        with pytest.raises(TypeError, match="must be a name, a mapping"):
+            resolve_component(REGISTRY, 42)
+
+    def test_instance_shape_off_by_default(self):
+        # Without instance_of, a ready instance is an unsupported type.
+        with pytest.raises(TypeError, match="must be a name, a mapping"):
+            resolve_component(REGISTRY, Widget())
+
+    def test_kwargs_on_instance(self):
+        with pytest.raises(TypeError, match="ready Widget instance"):
+            resolve_component(REGISTRY, Widget(), instance_of=Widget, size=2)
+
+    def test_unknown_constructor_keyword_propagates(self):
+        with pytest.raises(TypeError):
+            resolve_component(REGISTRY, "widget", bogus=1)
+
+
+def test_component_names_sorted():
+    assert component_names(REGISTRY) == ["gadget", "widget"]

@@ -60,7 +60,7 @@ class TestRegistry:
             make_restart_policy({"name": "immediate", "base": 4})
 
     def test_unsupported_spec_type_raises(self):
-        with pytest.raises(TypeError, match="restart_policy must be"):
+        with pytest.raises(TypeError, match="restart policy must be"):
             make_restart_policy(42)
 
     def test_invalid_parameters_raise(self):

@@ -1,0 +1,121 @@
+"""The top-level API facade: ``repro.run`` and the exported surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.shard.engine import ShardedRunResult
+from repro.simulation import RunResult
+from repro.sweep import ScenarioSpec
+
+
+class TestRunShapes:
+    def test_workload_name(self):
+        result = repro.run(
+            "hotspot", workload_params={"transactions": 8, "seed": 3}, seed=3
+        )
+        assert isinstance(result, RunResult)
+        assert result.metrics.committed + result.metrics.gave_up == 8
+
+    def test_mapping(self):
+        result = repro.run(
+            {
+                "workload": "banking",
+                "scheduler": "certifier",
+                "workload_params": {"transactions": 6, "seed": 1},
+                "seed": 9,
+            }
+        )
+        assert isinstance(result, RunResult)
+        assert result.scheduler_description["name"] == "certifier"
+
+    def test_mapping_with_overrides(self):
+        result = repro.run(
+            {"workload": "banking", "workload_params": {"transactions": 6}},
+            scheduler="adaptive",
+            seed=4,
+        )
+        assert result.scheduler_description["name"] == "adaptive"
+
+    def test_spec_instance_with_overrides(self):
+        spec = ScenarioSpec(
+            workload="hotspot",
+            scheduler="modular",
+            workload_params={"transactions": 6, "seed": 2},
+            seed=2,
+        )
+        result = repro.run(spec, seed=5)
+        assert isinstance(result, RunResult)
+        # Overrides build a new spec; the caller's is untouched.
+        assert spec.seed == 2
+
+    def test_default_scheduler_is_modular(self):
+        result = repro.run(
+            "hotspot", workload_params={"transactions": 4, "seed": 1}, seed=1
+        )
+        assert result.scheduler_description["name"] == "modular"
+
+    def test_unsupported_scenario_type(self):
+        with pytest.raises(TypeError, match="workload name, a mapping"):
+            repro.run(42)
+
+    def test_unknown_workload_propagates(self):
+        with pytest.raises(Exception, match="unknown"):
+            repro.run("not-a-workload")
+
+    def test_sharded_specs_return_sharded_results(self):
+        result = repro.run(
+            "hotspot",
+            scheduler="n2pl",
+            shards=2,
+            shard_assignment={"hot-0": 0, "hot-1": 0},
+            workload_params={
+                "transactions": 10,
+                "hot_objects": 2,
+                "cold_objects": 8,
+                "use_service_layer": False,
+                "seed": 5,
+            },
+            scheduler_kwargs={"restart_policy": "backoff"},
+            seed=5,
+        )
+        assert isinstance(result, ShardedRunResult)
+        assert len(result.shards) == 2
+
+
+class TestExportedSurface:
+    @pytest.mark.parametrize(
+        "name",
+        (
+            "run",
+            "ScenarioSpec",
+            "SweepSpec",
+            "ShardMap",
+            "SimulationEngine",
+            "RunResult",
+            "RunMetrics",
+            "ARRIVAL_REGISTRY",
+            "FAULT_REGISTRY",
+            "WORKLOAD_REGISTRY",
+            "SCHEDULER_FACTORIES",
+            "INTRA_STRATEGIES",
+            "RESTART_POLICIES",
+            "resolve_component",
+            "component_names",
+            "make_scheduler",
+            "make_workload",
+            "make_arrival_process",
+            "make_fault_plan",
+            "make_restart_policy",
+            "scheduler_names",
+            "workload_names",
+        ),
+    )
+    def test_public_name_is_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_adaptive_is_a_registered_scheduler(self):
+        assert "adaptive" in repro.SCHEDULER_FACTORIES
+        assert "adaptive" in repro.scheduler_names()
